@@ -1,0 +1,51 @@
+// Ablation for §4.2 (Fig. 4): the integrated "optimal blocks" of eq. 3
+// versus a naive scheme that keeps only the blocking of the first pipeline
+// map each statement participates in. On programs where statements feed
+// multiple consumers with different strides, the integrated blocks allow
+// strictly more overlap.
+
+#include "bench_common.hpp"
+
+#include "codegen/task_program.hpp"
+#include "kernels/suite.hpp"
+
+#include <cstdio>
+
+int main() {
+  using namespace pipoly;
+  std::printf("== Ablation: integrated optimal blocks (eq. 3) vs first-map "
+              "blocking ==\n");
+  std::printf("Simulated makespan (ms) on 8 workers; uniform per-iteration "
+              "cost of 50 us.\n\n");
+
+  bench::Table table({"prog", "blocks(opt)", "blocks(naive)", "opt_ms",
+                      "naive_ms", "opt_speedup", "naive_speedup"});
+
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, 16);
+
+    sim::CostModel model;
+    model.iterationCost.assign(scop.numStatements(), 50e-6);
+    model.taskOverhead = 2e-6;
+    const double seq = sim::sequentialTime(scop, model);
+
+    codegen::TaskProgram optimal = codegen::compilePipeline(scop);
+    pipeline::DetectOptions naiveOpt;
+    naiveOpt.integration = pipeline::DetectOptions::Integration::FirstMapOnly;
+    codegen::TaskProgram naive = codegen::compilePipeline(scop, naiveOpt);
+
+    sim::SimResult ro = sim::simulate(optimal, model, sim::SimConfig{8});
+    sim::SimResult rn = sim::simulate(naive, model, sim::SimConfig{8});
+
+    table.addRow({spec.name, std::to_string(optimal.tasks.size()),
+                  std::to_string(naive.tasks.size()),
+                  bench::fmt(ro.makespan * 1e3, 2),
+                  bench::fmt(rn.makespan * 1e3, 2),
+                  bench::fmt(ro.speedupOver(seq)),
+                  bench::fmt(rn.speedupOver(seq))});
+  }
+  table.print();
+  std::printf("\nExpectation: opt_speedup >= naive_speedup everywhere, with "
+              "the gap widening on multi-consumer programs (P3-P9).\n");
+  return 0;
+}

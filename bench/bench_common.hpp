@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction benchmark binaries: cost
+// calibration (real measurements on this host feeding the machine
+// simulator) and fixed-width table printing.
+
+#include "sim/simulator.hpp"
+#include "support/stopwatch.hpp"
+#include "tasking/tasking.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pipoly::bench {
+
+/// Measures the per-task overhead (seconds) of spawning and running empty
+/// tasks through the thread-pool backend; used as the simulator's
+/// task-dispatch cost.
+inline double measureTaskOverhead() {
+  constexpr int kTasks = 2000;
+  auto layer = tasking::makeThreadPoolBackend(4);
+  auto noop = +[](void*) {};
+  int dummy = 0;
+  // Warm-up region.
+  layer->run([&] {
+    for (int i = 0; i < 100; ++i)
+      layer->createTask(noop, &dummy, sizeof(dummy), i, 0, nullptr, nullptr,
+                        0);
+  });
+  Stopwatch sw;
+  layer->run([&] {
+    for (int i = 0; i < kTasks; ++i)
+      layer->createTask(noop, &dummy, sizeof(dummy), i, 0, nullptr, nullptr,
+                        0);
+  });
+  return sw.seconds() / kTasks;
+}
+
+/// Fixed-width table printer.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> width(header_.size());
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_)
+      widen(row);
+    auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i)
+        std::printf("%-*s  ", static_cast<int>(width[i]), row[i].c_str());
+      std::printf("\n");
+    };
+    printRow(header_);
+    for (const auto& row : rows_)
+      printRow(row);
+  }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+} // namespace pipoly::bench

@@ -1,0 +1,93 @@
+// Reproduces Table 9 / Figure 10: speed-up of the cross-loop-pipelined
+// version over the sequential version for programs P1..P10, across a grid
+// of (N, SIZE) configurations, on a simulated 8-hardware-thread machine
+// (the paper's quad-core with 2 threads/core; see DESIGN.md for the
+// 1-core-host substitution).
+//
+// Per-iteration costs are *measured* on this host by timing the real
+// compute kernel (next_prime over a SIZE-element buffer, `num` rounds);
+// the task-spawn overhead is measured through the thread-pool backend.
+// The simulator then executes the actual task graph produced by the full
+// pipeline (Algorithm 1 -> Algorithm 2 -> AST -> codegen).
+
+#include "bench_common.hpp"
+
+#include "codegen/task_program.hpp"
+#include "kernels/compute.hpp"
+#include "kernels/suite.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace {
+
+using namespace pipoly;
+
+struct Config {
+  pb::Value n;
+  int size;
+  std::string label() const {
+    return "N" + std::to_string(n) + "/S" + std::to_string(size);
+  }
+};
+
+} // namespace
+
+int main() {
+  std::printf("== Figure 10 / Table 9: cross-loop pipelining speed-up "
+              "(simulated 8 hw threads) ==\n");
+  std::printf("Speed-up of pipelined vs sequential execution; per-iteration "
+              "costs measured on this host.\n\n");
+
+  const std::vector<Config> configs = {
+      {8, 1},  {8, 2},  {8, 4},  {8, 8},  {8, 16},
+      {16, 1}, {16, 2}, {16, 4}, {16, 8}, {16, 16},
+  };
+
+  const double taskOverhead = bench::measureTaskOverhead();
+  std::printf("measured task overhead: %.2f us\n\n", taskOverhead * 1e6);
+
+  // Cache kernel cost measurements by (num, size).
+  std::map<std::pair<int, int>, double> costCache;
+  auto kernelCost = [&](int num, int size) {
+    auto [it, fresh] = costCache.try_emplace({num, size}, 0.0);
+    if (fresh)
+      it->second = kernels::measureComputeCost(num, size);
+    return it->second;
+  };
+
+  // Table 9 (Fig. 9): the programs' specifications and access patterns.
+  std::printf("-- Table 9: experimental data --\n");
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs())
+    std::printf("%s", kernels::describeProgram(spec).c_str());
+  std::printf("\n-- Figure 10: speed-ups --\n");
+
+  std::vector<std::string> header{"prog"};
+  for (const Config& c : configs)
+    header.push_back(c.label());
+  bench::Table table(std::move(header));
+
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    std::vector<std::string> row{spec.name};
+    for (const Config& cfg : configs) {
+      scop::Scop scop = kernels::buildProgram(spec, cfg.n);
+      codegen::TaskProgram prog = codegen::compilePipeline(scop);
+
+      sim::CostModel model;
+      model.taskOverhead = taskOverhead;
+      for (int num : spec.nums)
+        model.iterationCost.push_back(kernelCost(num, cfg.size));
+
+      const double seq = sim::sequentialTime(scop, model);
+      sim::SimResult r = sim::simulate(prog, model, sim::SimConfig{8});
+      row.push_back(bench::fmt(r.speedupOver(seq)));
+    }
+    table.addRow(std::move(row));
+  }
+  table.print();
+
+  std::printf("\nPaper reference (Fig. 10): P1 1.7-1.9, P2 1.3-1.6, "
+              "P3 2.4-2.8, P4 1.3-1.4, P5 3.0-3.5, P6 1.6-2.0, P7 1.9-2.1, "
+              "P8 3.1-3.6, P9 1.9-2.7, P10 1.3-1.8.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Micro-benchmarks (google-benchmark) of the library's building blocks:
+// the Presburger substrate, the pipeline detection phases, end-to-end
+// compilation, the tasking backends and the machine simulator.
+
+#include "codegen/task_program.hpp"
+#include "frontend/frontend.hpp"
+#include "kernels/suite.hpp"
+#include "pipeline/blocking.hpp"
+#include "pipeline/detect.hpp"
+#include "pipeline/pipeline_map.hpp"
+#include "pipeline/symbolic.hpp"
+#include "presburger/map.hpp"
+#include "presburger/parser.hpp"
+#include "scop/builder.hpp"
+#include "sim/simulator.hpp"
+#include "tasking/tasking.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace pipoly;
+
+/// Listing 1 of the paper, parameterised by N.
+scop::Scop listing1(pb::Value n) {
+  scop::ScopBuilder b("listing1");
+  std::size_t A = b.array("A", {n, n});
+  std::size_t B = b.array("B", {n, n});
+  auto S = b.statement("S", 2);
+  S.bound(0, 0, n - 1).bound(1, 0, n - 1);
+  S.write(A, {S.dim(0), S.dim(1)});
+  S.read(A, {S.dim(0), S.dim(1) + 1});
+  S.read(A, {S.dim(0) + 1, S.dim(1) + 1});
+  auto R = b.statement("R", 2);
+  R.bound(0, 0, n / 2 - 1).bound(1, 0, n / 2 - 1);
+  R.write(B, {R.dim(0), R.dim(1)});
+  R.read(A, {R.dim(0), 2 * R.dim(1)});
+  R.read(B, {R.dim(0), R.dim(1) + 1});
+  return b.build();
+}
+
+void BM_ParseSet(benchmark::State& state) {
+  for (auto _ : state) {
+    auto s = pb::parseSet("{ S[i, j] : 0 <= i < 32 and 0 <= j <= i }");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ParseSet);
+
+void BM_MapCompose(benchmark::State& state) {
+  const auto n = state.range(0);
+  scop::Scop scop = listing1(n);
+  pb::IntMap wr = scop.writeRelation(0, 0);
+  pb::IntMap rd = scop.readRelation(1, 0);
+  pb::IntMap wrInv = wr.inverse();
+  for (auto _ : state) {
+    auto p = wrInv.compose(rd);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_MapCompose)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_LexmaxPerDomain(benchmark::State& state) {
+  scop::Scop scop = listing1(state.range(0));
+  pb::IntMap p = pipeline::producerRelation(scop, 0, 1);
+  for (auto _ : state) {
+    auto m = p.lexmaxPerDomain();
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_LexmaxPerDomain)->Arg(20)->Arg(80);
+
+void BM_PipelineMap(benchmark::State& state) {
+  scop::Scop scop = listing1(state.range(0));
+  for (auto _ : state) {
+    auto t = pipeline::pipelineMap(scop, 0, 1);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_PipelineMap)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_PipelineMapSymbolicFastPath(benchmark::State& state) {
+  scop::Scop scop = listing1(state.range(0));
+  for (auto _ : state) {
+    auto t = pipeline::trySymbolicPipelineMap(scop, 0, 1);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_PipelineMapSymbolicFastPath)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_FrontendParse(benchmark::State& state) {
+  static constexpr const char* kSource = R"(
+    param N = 20;
+    array A[N][N]; array B[N][N];
+    for (i = 0; i < N - 1; i++)
+      for (j = 0; j < N - 1; j++)
+        S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+    for (i = 0; i < N/2 - 1; i++)
+      for (j = 0; j < N/2 - 1; j++)
+        R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+  )";
+  for (auto _ : state) {
+    auto scop = frontend::parseProgram(kSource);
+    benchmark::DoNotOptimize(scop);
+  }
+}
+BENCHMARK(BM_FrontendParse);
+
+void BM_BlockingMap(benchmark::State& state) {
+  scop::Scop scop = listing1(state.range(0));
+  pb::IntMap t = pipeline::pipelineMap(scop, 0, 1);
+  const pb::IntTupleSet domain = scop.statement(0).domain();
+  for (auto _ : state) {
+    auto v = pipeline::sourceBlockingMap(domain, t);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_BlockingMap)->Arg(20)->Arg(80);
+
+void BM_DetectPipeline(benchmark::State& state) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"),
+                                          state.range(0));
+  for (auto _ : state) {
+    auto info = pipeline::detectPipeline(scop);
+    benchmark::DoNotOptimize(info);
+  }
+}
+BENCHMARK(BM_DetectPipeline)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CompilePipeline(benchmark::State& state) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"),
+                                          state.range(0));
+  for (auto _ : state) {
+    auto prog = codegen::compilePipeline(scop);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_CompilePipeline)->Arg(8)->Arg(16);
+
+void BM_Simulate(benchmark::State& state) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"), 16);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  sim::CostModel model;
+  model.iterationCost.assign(scop.numStatements(), 1e-5);
+  for (auto _ : state) {
+    auto r = sim::simulate(prog, model, sim::SimConfig{8});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Simulate);
+
+void runEmptyTasks(tasking::TaskingLayer& layer, std::size_t count) {
+  auto noop = +[](void*) {};
+  int dummy = 0;
+  layer.run([&] {
+    for (std::size_t i = 0; i < count; ++i)
+      layer.createTask(noop, &dummy, sizeof(dummy),
+                       static_cast<std::int64_t>(i), 0, nullptr, nullptr, 0);
+  });
+}
+
+void BM_TaskSpawnSerial(benchmark::State& state) {
+  auto layer = tasking::makeSerialBackend();
+  for (auto _ : state)
+    runEmptyTasks(*layer, 1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TaskSpawnSerial);
+
+void BM_TaskSpawnThreadPool(benchmark::State& state) {
+  auto layer = tasking::makeThreadPoolBackend(4);
+  for (auto _ : state)
+    runEmptyTasks(*layer, 1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TaskSpawnThreadPool);
+
+void BM_TaskSpawnOpenMP(benchmark::State& state) {
+  auto layer = tasking::makeOpenMPBackend();
+  if (!layer) {
+    state.SkipWithError("OpenMP not available");
+    return;
+  }
+  for (auto _ : state)
+    runEmptyTasks(*layer, 1000);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TaskSpawnOpenMP);
+
+} // namespace
+
+BENCHMARK_MAIN();

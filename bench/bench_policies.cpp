@@ -1,0 +1,66 @@
+// Ready-queue policy comparison for the simulated runtime: creation
+// order (≈ an OpenMP FIFO), critical-path-first and longest-task-first,
+// across balanced and imbalanced pipelines. List scheduling is within a
+// factor (2 - 1/m) of optimal regardless, so differences are modest —
+// the point is quantifying how sensitive the paper's speedups are to the
+// runtime's dispatch order.
+
+#include "bench_common.hpp"
+
+#include "codegen/task_program.hpp"
+#include "kernels/chains.hpp"
+#include "kernels/suite.hpp"
+
+#include <cstdio>
+
+int main() {
+  using namespace pipoly;
+  std::printf("== Scheduling-policy sensitivity (simulated 8 workers) ==\n\n");
+
+  struct Program {
+    std::string name;
+    scop::Scop scop;
+    sim::CostModel model;
+  };
+  std::vector<Program> programs;
+  {
+    scop::Scop p5 = kernels::buildProgram(kernels::programByName("P5"), 16);
+    sim::CostModel m;
+    m.iterationCost.assign(p5.numStatements(), 50e-6);
+    programs.push_back({"P5 (balanced)", std::move(p5), std::move(m)});
+  }
+  {
+    scop::Scop shrink = kernels::shrinkingChain(4, 24, 4);
+    sim::CostModel m;
+    m.iterationCost = kernels::defaultStageWeights(4);
+    for (double& w : m.iterationCost)
+      w *= 20e-6;
+    programs.push_back({"shrinking (imbalanced)", std::move(shrink),
+                        std::move(m)});
+  }
+
+  bench::Table table({"program", "creation", "critical-path", "longest",
+                      "critpath_ms"});
+  for (Program& p : programs) {
+    codegen::TaskProgram prog = codegen::compilePipeline(p.scop);
+    const double seq = sim::sequentialTime(p.scop, p.model);
+    std::vector<std::string> row{p.name};
+    double critPath = 0.0;
+    for (auto policy : {sim::SimConfig::Policy::CreationOrder,
+                        sim::SimConfig::Policy::CriticalPathFirst,
+                        sim::SimConfig::Policy::LongestTaskFirst}) {
+      sim::SimConfig cfg{8};
+      cfg.policy = policy;
+      sim::SimResult r = sim::simulate(prog, p.model, cfg);
+      row.push_back(bench::fmt(r.speedupOver(seq)));
+      critPath = r.criticalPath;
+    }
+    row.push_back(bench::fmt(critPath * 1e3, 2));
+    table.addRow(std::move(row));
+  }
+  table.print();
+  std::printf("\nExpectation: near-identical speedups — the pipelined task "
+              "graphs are chain-dominated, so dispatch order has little "
+              "slack to exploit.\n");
+  return 0;
+}

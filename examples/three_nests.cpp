@@ -1,0 +1,95 @@
+// The paper's Listing 3 (three dependent loop nests, §4.2) — shows how one
+// statement integrates blocking maps from several pipeline maps (eq. 3),
+// prints the Fig.-6-style AST, and estimates the parallel speed-up with
+// the machine simulator at several worker counts.
+//
+// Run:  ./build/examples/three_nests
+
+#include "ast/ast.hpp"
+#include "codegen/task_program.hpp"
+#include "pipeline/detect.hpp"
+#include "schedule/build.hpp"
+#include "scop/builder.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+
+using namespace pipoly;
+
+namespace {
+
+constexpr pb::Value N = 20;
+
+scop::Scop buildListing3() {
+  scop::ScopBuilder b("listing3");
+  std::size_t A = b.array("A", {N, N});
+  std::size_t B = b.array("B", {N, N});
+  std::size_t C = b.array("C", {N, N});
+  auto S = b.statement("S", 2);
+  S.bound(0, 0, N - 1).bound(1, 0, N - 1);
+  S.write(A, {S.dim(0), S.dim(1)});
+  S.read(A, {S.dim(0), S.dim(1)});
+  S.read(A, {S.dim(0), S.dim(1) + 1});
+  S.read(A, {S.dim(0) + 1, S.dim(1) + 1});
+  auto R = b.statement("R", 2);
+  R.bound(0, 0, N / 2 - 1).bound(1, 0, N / 2 - 1);
+  R.write(B, {R.dim(0), R.dim(1)});
+  R.read(A, {R.dim(0), 2 * R.dim(1)});
+  R.read(B, {R.dim(0), R.dim(1) + 1});
+  R.read(B, {R.dim(0) + 1, R.dim(1) + 1});
+  R.read(B, {R.dim(0), R.dim(1)});
+  auto U = b.statement("U", 2);
+  U.bound(0, 0, N / 2 - 1).bound(1, 0, N / 2 - 1);
+  U.write(C, {U.dim(0), U.dim(1)});
+  U.read(A, {2 * U.dim(0), 2 * U.dim(1)});
+  U.read(B, {U.dim(0), U.dim(1)});
+  U.read(C, {U.dim(0), U.dim(1) + 1});
+  U.read(C, {U.dim(0) + 1, U.dim(1) + 1});
+  U.read(C, {U.dim(0), U.dim(1)});
+  return b.build();
+}
+
+} // namespace
+
+int main() {
+  scop::Scop scop = buildListing3();
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+
+  std::printf("pipeline maps:\n");
+  for (const auto& entry : info.maps)
+    std::printf("  %s -> %s: %zu pairs\n",
+                scop.statement(entry.srcIdx).name().c_str(),
+                scop.statement(entry.tgtIdx).name().c_str(),
+                entry.map.size());
+
+  std::printf("\nper-statement blocking (Σ, eq. 3):\n");
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    const auto& st = info.statements[s];
+    std::printf("  %s: %zu iterations in %zu blocks, %zu in-dependency "
+                "map(s)\n",
+                scop.statement(s).name().c_str(),
+                scop.statement(s).domain().size(), st.blockReps.size(),
+                st.inRequirements.size());
+  }
+
+  auto tree = sched::buildPipelineSchedule(scop, info);
+  ast::Ast lowered = ast::buildAst(scop, *tree);
+  std::printf("\nFig.-6-style AST of the transformed program:\n%s\n",
+              ast::printAst(lowered, scop).c_str());
+
+  codegen::TaskProgram prog = codegen::lowerToTasks(scop, lowered);
+  prog.validate(scop);
+
+  sim::CostModel model;
+  model.iterationCost.assign(scop.numStatements(), 50e-6);
+  model.taskOverhead = 1e-6;
+  const double seq = sim::sequentialTime(scop, model);
+  std::printf("simulated speed-up over sequential (uniform 50us "
+              "iterations):\n");
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    sim::SimResult r = sim::simulate(prog, model, sim::SimConfig{workers});
+    std::printf("  %u worker(s): %.2fx (utilization %.0f%%)\n", workers,
+                r.speedupOver(seq), 100.0 * r.utilization());
+  }
+  return 0;
+}

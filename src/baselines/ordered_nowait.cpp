@@ -1,0 +1,75 @@
+#include "baselines/ordered_nowait.hpp"
+
+#include "scop/dependences.hpp"
+#include "support/assert.hpp"
+
+#include <algorithm>
+
+namespace pipoly::baselines {
+
+OrderedNowaitApplicability orderedNowaitApplicable(const scop::Scop& scop) {
+  for (std::size_t t = 1; t < scop.numStatements(); ++t) {
+    for (std::size_t s = 0; s < t; ++s) {
+      pb::IntMap flow = scop::flowDependences(scop, s, t);
+      if (flow.empty())
+        continue;
+      if (t != s + 1)
+        return {false, "dependence skips a nest (" +
+                           scop.statement(s).name() + " -> " +
+                           scop.statement(t).name() +
+                           "), but ordered/nowait chains consecutive "
+                           "nests only"};
+      // Condition (1): identical iteration domains.
+      if (scop.statement(s).domain().points() !=
+          scop.statement(t).domain().points())
+        return {false, "nests " + scop.statement(s).name() + " and " +
+                           scop.statement(t).name() +
+                           " have different iteration domains"};
+      // Condition (2): target iteration depends only on same-or-earlier
+      // source iterations.
+      for (const auto& [i, j] : flow.pairs())
+        if (i > j)
+          return {false, "iteration " + j.toString() + " of " +
+                             scop.statement(t).name() +
+                             " depends on the later iteration " +
+                             i.toString() + " of " +
+                             scop.statement(s).name()};
+    }
+  }
+  return {true, ""};
+}
+
+std::optional<double> orderedNowaitTime(const scop::Scop& scop,
+                                        const sim::CostModel& model,
+                                        unsigned threads) {
+  PIPOLY_CHECK(threads >= 1);
+  if (!orderedNowaitApplicable(scop).applicable)
+    return std::nullopt;
+
+  // All nests share one domain and run concurrently on one thread each
+  // (the [40] scheme binds one nest per thread within a parallel region);
+  // iteration i of nest k starts after iteration i of nest k-1. With
+  // per-iteration costs c_k, steady state runs at the pace of the
+  // slowest nest; the fill adds one iteration of every earlier nest.
+  const std::size_t nests = scop.numStatements();
+  const auto usable = static_cast<std::size_t>(
+      std::min<std::size_t>(threads, nests));
+  const double iterations =
+      static_cast<double>(scop.statement(0).domain().size());
+
+  // If fewer threads than nests, the surplus nests serialize round-robin:
+  // model as ceil(nests / threads) nests stacked per thread.
+  const double stacking = static_cast<double>((nests + usable - 1) / usable);
+
+  double maxCost = 0.0, fill = 0.0, total = 0.0;
+  for (std::size_t k = 0; k < nests; ++k) {
+    maxCost = std::max(maxCost, model.iterationCost.at(k));
+    total += model.iterationCost.at(k);
+    if (k + 1 < nests)
+      fill += model.iterationCost.at(k);
+  }
+  const double steady = iterations * maxCost * stacking;
+  return std::min(fill + steady, iterations * total);
+}
+
+} // namespace pipoly::baselines

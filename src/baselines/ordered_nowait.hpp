@@ -1,0 +1,43 @@
+#pragma once
+
+// The restricted pipelined-multithreading baseline the paper contrasts
+// with in §2 (Razanajato et al. [40]): pipelining via OpenMP `ordered` +
+// `nowait` between consecutive parallelized loop nests. Per the paper,
+// that technique applies only when
+//
+//   (1) the considered nests have identical iteration domains (and chunk
+//       sizes), and
+//   (2) each iteration of the target depends only on the same or earlier
+//       iterations of its source (a lexicographically non-positive...
+//       i.e. non-forward dependence pattern).
+//
+// This module implements the *applicability test* and an analytic time
+// model for the cases where it applies, so benchmarks can show where the
+// paper's general task-based approach wins simply by being applicable.
+
+#include "scop/scop.hpp"
+#include "sim/simulator.hpp"
+
+#include <optional>
+
+namespace pipoly::baselines {
+
+struct OrderedNowaitApplicability {
+  bool applicable = false;
+  std::string reason; // why not, when !applicable
+};
+
+/// Checks conditions (1) and (2) for every dependent pair of consecutive
+/// nests in the SCoP.
+OrderedNowaitApplicability
+orderedNowaitApplicable(const scop::Scop& scop);
+
+/// Analytic execution time when applicable: all nests run concurrently,
+/// iteration i of nest k+1 waits for iteration i of nest k — time is the
+/// max nest time plus the per-stage fill delay of one iteration.
+/// Returns nullopt when the technique does not apply.
+std::optional<double> orderedNowaitTime(const scop::Scop& scop,
+                                        const sim::CostModel& model,
+                                        unsigned threads);
+
+} // namespace pipoly::baselines

@@ -1,0 +1,54 @@
+#include "baselines/polly_like.hpp"
+
+#include "scop/dependences.hpp"
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pipoly::baselines {
+
+namespace {
+
+std::size_t tripCount(const scop::Statement& stmt, std::size_t dim) {
+  std::set<pb::Value> values;
+  for (const pb::Tuple& t : stmt.domain().points())
+    values.insert(t[dim]);
+  return values.size();
+}
+
+} // namespace
+
+PollyResult pollyLikeSchedule(const scop::Scop& scop,
+                              const sim::CostModel& model,
+                              const PollyConfig& config) {
+  PIPOLY_CHECK(config.threads >= 1);
+  PollyResult result;
+  result.nests.reserve(scop.numStatements());
+
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    const scop::Statement& stmt = scop.statement(s);
+    const double work = static_cast<double>(stmt.domain().size()) *
+                        model.iterationCost.at(s);
+
+    NestPlan plan;
+    std::vector<bool> parallel = scop::parallelDims(scop, s);
+    auto it = std::find(parallel.begin(), parallel.end(), true);
+    if (it != parallel.end()) {
+      plan.parallelized = true;
+      plan.parallelDim = static_cast<std::size_t>(it - parallel.begin());
+      plan.parallelTrip = tripCount(stmt, plan.parallelDim);
+      const double ways = static_cast<double>(
+          std::min<std::size_t>(config.threads, plan.parallelTrip));
+      plan.time = work / ways + config.parallelOverheadPerNest;
+      ++result.numParallelNests;
+    } else {
+      plan.time = work;
+    }
+    result.totalTime += plan.time;
+    result.nests.push_back(plan);
+  }
+  return result;
+}
+
+} // namespace pipoly::baselines

@@ -1,0 +1,56 @@
+#pragma once
+
+// A Polly-like per-loop-nest auto-parallelizing baseline (what the paper
+// compares against as `polly` / `polly_8` in Fig. 11, i.e. Pluto's
+// scheduling inside Polly):
+//
+//   * per nest, find the outermost dependence-free dimension and run it in
+//     parallel across the configured thread count (fork/join per nest);
+//   * nests with dependences in every dimension run sequentially — the
+//     paper's key observation is that all gnmm/gnmmt nests (and all of the
+//     first benchmark set) fall into this bucket, so Polly gains nothing;
+//   * tiling is modelled as a measured per-iteration cost improvement
+//     (the caller supplies the tiled cost model; see bench/).
+//
+// Times are analytic (the quad-core substitution documented in DESIGN.md):
+// a parallel nest takes work / min(threads, trip(parallel dim)) plus a
+// fork/join overhead; nests execute back to back like Polly's generated
+// code.
+
+#include "scop/scop.hpp"
+#include "sim/simulator.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace pipoly::baselines {
+
+struct PollyConfig {
+  unsigned threads = 8;
+  /// Fork/join cost charged once per parallelized nest (seconds).
+  double parallelOverheadPerNest = 0.0;
+};
+
+struct NestPlan {
+  bool parallelized = false;
+  /// Outermost dependence-free dimension (when parallelized).
+  std::size_t parallelDim = 0;
+  /// Trip count of that dimension.
+  std::size_t parallelTrip = 1;
+  double time = 0.0;
+};
+
+struct PollyResult {
+  std::vector<NestPlan> nests;
+  double totalTime = 0.0;
+  std::size_t numParallelNests = 0;
+};
+
+/// Analyses and "executes" the SCoP the way Polly would, using the given
+/// per-iteration cost model (pass the tiled cost model to account for
+/// Polly's locality optimisation).
+PollyResult pollyLikeSchedule(const scop::Scop& scop,
+                              const sim::CostModel& model,
+                              const PollyConfig& config);
+
+} // namespace pipoly::baselines

@@ -1,0 +1,25 @@
+#pragma once
+
+// Executable realization of the Polly-like baseline: instead of the
+// analytic time model, lower the per-nest parallelization to an actual
+// TaskProgram that runs on the tasking backends and the machine
+// simulator — the same substrate the pipelined programs use, so the two
+// strategies can be compared with one methodology (and executed for real
+// on multi-core hosts).
+//
+//  * a parallelizable nest becomes up to `threads` chunk tasks over its
+//    outermost dependence-free dimension;
+//  * a serial nest becomes one task;
+//  * consecutive nests are separated by a full barrier (every task of
+//    nest k depends on every task of nest k-1), which is what Polly's
+//    generated code does with one parallel loop per nest.
+
+#include "codegen/task_program.hpp"
+#include "scop/scop.hpp"
+
+namespace pipoly::baselines {
+
+codegen::TaskProgram pollyTaskProgram(const scop::Scop& scop,
+                                      unsigned threads);
+
+} // namespace pipoly::baselines

@@ -1,0 +1,32 @@
+#pragma once
+
+// §5.4/§5.5 — source-level code generation. Where the paper's prototype
+// rewrites LLVM-IR to call its high-level CreateTask function (Fig. 7),
+// this emitter produces a *self-contained C program* with the same
+// structure:
+//
+//   * the CreateTask function over OpenMP `task depend` (Fig. 8),
+//     including the dependArr dependency array and the iterator-based
+//     variable-length in-dependency list;
+//   * one extracted task function executing the iterations of one block
+//     (the body of the pipeline loop);
+//   * static tables describing every task (statement, iteration range,
+//     dependency slots) — the lowered form of the Q_S / Q_S^out maps;
+//   * a main() that runs the program both sequentially and task-parallel
+//     and compares order-sensitive checksums, exiting 0 on a match.
+//
+// Statement bodies hash-combine their operands (the same semantics as the
+// test suite's InterpretedKernel), so the emitted program is a
+// self-checking witness that the generated task graph preserves the
+// original program's dataflow.
+
+#include "codegen/task_program.hpp"
+
+#include <string>
+
+namespace pipoly::codegen {
+
+std::string emitOpenMPProgram(const scop::Scop& scop,
+                              const TaskProgram& program);
+
+} // namespace pipoly::codegen

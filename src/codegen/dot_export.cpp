@@ -1,0 +1,43 @@
+#include "codegen/dot_export.hpp"
+
+#include "support/assert.hpp"
+
+#include <sstream>
+
+namespace pipoly::codegen {
+
+std::string toDot(const TaskProgram& program, const scop::Scop& scop) {
+  std::ostringstream os;
+  os << "digraph tasks {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontsize=10];\n";
+
+  // One cluster per statement, tasks in block order.
+  for (std::size_t s = 0; s < program.numStatements; ++s) {
+    os << "  subgraph cluster_" << s << " {\n"
+       << "    label=\"" << scop.statement(s).name() << "\";\n";
+    for (const Task& t : program.tasks) {
+      if (t.stmtIdx != s)
+        continue;
+      os << "    t" << t.id << " [label=\"" << scop.statement(s).name()
+         << t.blockRep.toString() << "\\n" << t.iterations.size()
+         << " its\"];\n";
+    }
+    os << "  }\n";
+  }
+
+  for (const Task& t : program.tasks) {
+    for (const TaskDep& dep : t.in) {
+      std::optional<std::size_t> src = program.taskWithOut(dep);
+      PIPOLY_CHECK(src.has_value());
+      os << "  t" << *src << " -> t" << t.id;
+      if (dep.selfOrdering)
+        os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+} // namespace pipoly::codegen

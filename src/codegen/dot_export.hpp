@@ -1,0 +1,16 @@
+#pragma once
+
+// Graphviz export of a task program's dependency DAG: one node per task
+// (grouped into clusters per statement), one edge per dependency, with
+// the same-nest ordering edges drawn dashed. Handy for inspecting what
+// the pipeline detection produced — `dot -Tsvg graph.dot`.
+
+#include "codegen/task_program.hpp"
+
+#include <string>
+
+namespace pipoly::codegen {
+
+std::string toDot(const TaskProgram& program, const scop::Scop& scop);
+
+} // namespace pipoly::codegen

@@ -1,0 +1,64 @@
+#include "codegen/json_export.hpp"
+
+#include "support/assert.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace pipoly::codegen {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\')
+      out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+} // namespace
+
+std::string toJson(const TaskProgram& program, const scop::Scop& scop) {
+  std::map<std::pair<int, std::int64_t>, std::size_t> owner;
+  for (const Task& t : program.tasks)
+    owner[{t.out.idx, t.out.tag}] = t.id;
+
+  std::map<std::size_t, std::size_t> blocksPerStmt;
+  for (const Task& t : program.tasks)
+    ++blocksPerStmt[t.stmtIdx];
+
+  std::ostringstream os;
+  os << "{\n  \"scop\": \"" << escape(scop.name()) << "\",\n"
+     << "  \"chainOrdering\": " << (program.chainOrdering ? "true" : "false")
+     << ",\n  \"statements\": [\n";
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    const scop::Statement& stmt = scop.statement(s);
+    os << "    {\"name\": \"" << escape(stmt.name()) << "\", \"depth\": "
+       << stmt.depth() << ", \"iterations\": " << stmt.domain().size()
+       << ", \"blocks\": " << blocksPerStmt[s] << '}'
+       << (s + 1 < scop.numStatements() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"tasks\": [\n";
+  for (const Task& t : program.tasks) {
+    os << "    {\"id\": " << t.id << ", \"stmt\": " << t.stmtIdx
+       << ", \"block\": [";
+    for (std::size_t d = 0; d < t.blockRep.size(); ++d)
+      os << (d ? ", " : "") << t.blockRep[d];
+    os << "], \"iterations\": " << t.iterations.size() << ", \"deps\": [";
+    for (std::size_t k = 0; k < t.in.size(); ++k) {
+      auto it = owner.find({t.in[k].idx, t.in[k].tag});
+      PIPOLY_CHECK(it != owner.end());
+      os << (k ? ", " : "") << "{\"task\": " << it->second << ", \"self\": "
+         << (t.in[k].selfOrdering ? "true" : "false") << '}';
+    }
+    os << "]}" << (t.id + 1 < program.tasks.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+} // namespace pipoly::codegen

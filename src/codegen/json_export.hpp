@@ -1,0 +1,21 @@
+#pragma once
+
+// JSON export of the compilation result, for downstream tooling (IDE
+// visualisers, external schedulers, CI dashboards). The schema:
+//
+// {
+//   "scop": "...",
+//   "statements": [ { "name", "depth", "iterations", "blocks" } ],
+//   "tasks": [ { "id", "stmt", "block": [..], "iterations",
+//                "deps": [ { "task", "self" } ] } ]
+// }
+
+#include "codegen/task_program.hpp"
+
+#include <string>
+
+namespace pipoly::codegen {
+
+std::string toJson(const TaskProgram& program, const scop::Scop& scop);
+
+} // namespace pipoly::codegen

@@ -1,0 +1,193 @@
+#include "codegen/task_program.hpp"
+
+#include "pipeline/detect.hpp"
+#include "schedule/build.hpp"
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace pipoly::codegen {
+
+std::int64_t linearizeBlockVector(const pb::Tuple& blockRep) {
+  std::int64_t tag = 0;
+  for (pb::Value v : blockRep) {
+    PIPOLY_CHECK_MSG(v >= 0 && v < kLinearStride,
+                     "block coordinate out of range for linearisation");
+    PIPOLY_CHECK_MSG(tag <= (std::numeric_limits<std::int64_t>::max() -
+                             kLinearStride) /
+                                kLinearStride,
+                     "block vector too large to linearise");
+    tag = tag * kLinearStride + v;
+  }
+  return tag;
+}
+
+std::optional<std::size_t> TaskProgram::taskWithOut(const TaskDep& dep) const {
+  for (const Task& t : tasks)
+    if (t.out.idx == dep.idx && t.out.tag == dep.tag)
+      return t.id;
+  return std::nullopt;
+}
+
+void TaskProgram::validate(const scop::Scop& scop) const {
+  PIPOLY_CHECK(numStatements == scop.numStatements());
+
+  // Out-dependencies are unique and tasks are creation-ordered by id.
+  std::map<std::pair<int, std::int64_t>, std::size_t> outOwner;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    PIPOLY_CHECK(tasks[i].id == i);
+    auto key = std::make_pair(tasks[i].out.idx, tasks[i].out.tag);
+    PIPOLY_CHECK_MSG(!outOwner.count(key), "duplicate out-dependency tag");
+    outOwner[key] = i;
+  }
+
+  // Every in-dependency must resolve to an earlier task (OpenMP depend
+  // "last writer" semantics with our creation order).
+  for (const Task& t : tasks) {
+    for (const TaskDep& dep : t.in) {
+      auto it = outOwner.find({dep.idx, dep.tag});
+      PIPOLY_CHECK_MSG(it != outOwner.end(),
+                       "in-dependency with no producing task");
+      PIPOLY_CHECK_MSG(it->second < t.id,
+                       "in-dependency on a later task (creation order)");
+    }
+  }
+
+  // Per statement: iterations across tasks partition the domain, blocks in
+  // lexicographic order, and self-ordering chain intact.
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    std::vector<pb::Tuple> all;
+    const Task* prev = nullptr;
+    for (const Task& t : tasks) {
+      if (t.stmtIdx != s)
+        continue;
+      PIPOLY_CHECK(!t.iterations.empty());
+      PIPOLY_CHECK_MSG(std::is_sorted(t.iterations.begin(),
+                                      t.iterations.end()),
+                       "task iterations must be in lexicographic order");
+      PIPOLY_CHECK_MSG(t.iterations.back() == t.blockRep,
+                       "block representative must be the last iteration");
+      if (prev) {
+        PIPOLY_CHECK_MSG(prev->blockRep < t.blockRep,
+                         "blocks of one statement must be ordered");
+        if (chainOrdering) {
+          bool hasSelfDep = std::any_of(
+              t.in.begin(), t.in.end(), [&](const TaskDep& d) {
+                return d.selfOrdering && d.idx == prev->out.idx &&
+                       d.tag == prev->out.tag;
+              });
+          PIPOLY_CHECK_MSG(hasSelfDep,
+                           "missing same-statement ordering dependency");
+        }
+      }
+      all.insert(all.end(), t.iterations.begin(), t.iterations.end());
+      prev = &t;
+    }
+    std::sort(all.begin(), all.end());
+    PIPOLY_CHECK_MSG(pb::IntTupleSet(scop.statement(s).space(), all) ==
+                         scop.statement(s).domain(),
+                     "task iterations must partition the statement domain");
+  }
+}
+
+TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast) {
+  TaskProgram prog;
+  prog.numStatements = scop.numStatements();
+
+  // writeNum (§5.5): statements that are sources of other statements.
+  std::vector<bool> isSource(scop.numStatements(), false);
+  for (const ast::AstLoopNest& nest : ast.nests)
+    for (const pipeline::InRequirement& req : nest.annotation.inRequirements)
+      isSource[req.srcStmtIdx] = true;
+  prog.writeNum = static_cast<std::size_t>(
+      std::count(isSource.begin(), isSource.end(), true));
+
+  for (const ast::AstLoopNest& nest : ast.nests) {
+    const int stmtSlot = static_cast<int>(nest.stmtIdx);
+    std::optional<TaskDep> prevOut;
+    for (const pb::Tuple& rep : nest.blockReps.points()) {
+      Task task;
+      task.id = prog.tasks.size();
+      task.stmtIdx = nest.stmtIdx;
+      task.blockRep = rep;
+      task.iterations = nest.expansion.imagesOf(rep);
+      PIPOLY_CHECK(!task.iterations.empty());
+      task.out = TaskDep{stmtSlot, linearizeBlockVector(rep)};
+
+      // Cross-statement in-dependencies from the Q_S maps (single-valued
+      // under chain ordering; exact data-flow edges, possibly several,
+      // under relaxed ordering).
+      for (const pipeline::InRequirement& req :
+           nest.annotation.inRequirements) {
+        for (const pb::Tuple& image : req.map.imagesOf(rep))
+          task.in.push_back(TaskDep{static_cast<int>(req.srcStmtIdx),
+                                    linearizeBlockVector(image)});
+      }
+
+      if (nest.annotation.chainOrdering) {
+        // Same-statement ordering (the funcCount protocol of Fig. 8).
+        if (prevOut)
+          task.in.push_back(
+              TaskDep{prevOut->idx, prevOut->tag, /*selfOrdering=*/true});
+      } else {
+        // §7 relaxation: only the actual cross-block self-dependences.
+        prog.chainOrdering = false;
+        for (const pb::Tuple& required :
+             nest.annotation.selfEdges.imagesOf(rep))
+          task.in.push_back(TaskDep{stmtSlot,
+                                    linearizeBlockVector(required),
+                                    /*selfOrdering=*/true});
+      }
+
+      // Deduplicate dependency slots (exact data-flow edges can name the
+      // same source block several times); keep the selfOrdering flag if
+      // any duplicate carried it.
+      std::sort(task.in.begin(), task.in.end(),
+                [](const TaskDep& a, const TaskDep& b) {
+                  return std::tie(a.idx, a.tag, b.selfOrdering) <
+                         std::tie(b.idx, b.tag, a.selfOrdering);
+                });
+      task.in.erase(std::unique(task.in.begin(), task.in.end(),
+                                [](const TaskDep& a, const TaskDep& b) {
+                                  return a.idx == b.idx && a.tag == b.tag;
+                                }),
+                    task.in.end());
+
+      prevOut = task.out;
+      prog.tasks.push_back(std::move(task));
+    }
+  }
+  return prog;
+}
+
+TaskProgram compilePipeline(const scop::Scop& scop,
+                            const pipeline::DetectOptions& options) {
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop, options);
+  std::unique_ptr<sched::ScheduleNode> tree =
+      sched::buildPipelineSchedule(scop, info);
+  ast::Ast loweredAst = ast::buildAst(scop, *tree);
+  TaskProgram prog = lowerToTasks(scop, loweredAst);
+  prog.validate(scop);
+  return prog;
+}
+
+std::string TaskProgram::toString() const {
+  std::ostringstream os;
+  os << "task program: " << tasks.size() << " tasks, " << numStatements
+     << " statements, writeNum=" << writeNum << '\n';
+  for (const Task& t : tasks) {
+    os << "  task " << t.id << ": stmt " << t.stmtIdx << " block "
+       << t.blockRep << " (" << t.iterations.size() << " its) out=("
+       << t.out.idx << ',' << t.out.tag << ')';
+    for (const TaskDep& d : t.in)
+      os << " in=(" << d.idx << ',' << d.tag << (d.selfOrdering ? ",self" : "")
+         << ')';
+    os << '\n';
+  }
+  return os.str();
+}
+
+} // namespace pipoly::codegen

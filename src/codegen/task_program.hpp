@@ -1,0 +1,84 @@
+#pragma once
+
+// §5.4 — code generation. The bodies of the pipeline loops are extracted
+// into tasks; dependency vectors become integer tags (each dimension is
+// multiplied by a large stride and summed — the paper's linearisation) and
+// are paired with a statement index to distinguish the pw_multi_affs.
+//
+// The result, TaskProgram, is the backend-agnostic task-parallel program:
+// a creation-ordered list of tasks, each with
+//   * its statement and block identity,
+//   * the block's member iterations (what the extracted function executes),
+//   * one out-dependency (idx, tag),
+//   * in-dependencies (idx, tag) from the Q_S maps, plus the same-nest
+//     ordering dependency (the funcCount protocol of Fig. 8) expressed as
+//     an in-dependency on the previous block of the same statement.
+
+#include "ast/ast.hpp"
+#include "pipeline/detect.hpp"
+#include "presburger/tuple.hpp"
+#include "scop/scop.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipoly::codegen {
+
+/// (statement slot, linearised block vector) — the depend-clause key.
+struct TaskDep {
+  int idx;
+  std::int64_t tag;
+  /// True for the same-statement ordering dependency (funcCount protocol).
+  bool selfOrdering = false;
+
+  friend bool operator==(const TaskDep&, const TaskDep&) = default;
+};
+
+struct Task {
+  std::size_t id; // creation order, 0-based
+  std::size_t stmtIdx;
+  pb::Tuple blockRep;
+  std::vector<pb::Tuple> iterations; // lexicographic order
+  TaskDep out;
+  std::vector<TaskDep> in;
+};
+
+struct TaskProgram {
+  std::vector<Task> tasks; // creation order: statement order, blocks lex
+  std::size_t numStatements = 0;
+  /// writeNum of §5.5: number of statements that are sources of others.
+  std::size_t writeNum = 0;
+  /// True when every statement uses the paper's strict same-nest block
+  /// chain (Fig. 8 funcCount); false when the §7 relaxation replaced the
+  /// chain with exact self-dependence edges.
+  bool chainOrdering = true;
+
+  /// Index of the task with the given out-dependency; tasks are unique per
+  /// (idx, tag).
+  std::optional<std::size_t> taskWithOut(const TaskDep& dep) const;
+
+  /// Checks the program is well formed: every in-dependency names the out
+  /// tag of an *earlier* task (OpenMP depend semantics), iterations
+  /// partition domains, etc. Throws on violation.
+  void validate(const scop::Scop& scop) const;
+
+  std::string toString() const;
+};
+
+/// The paper's vector-to-integer linearisation. Every coordinate must be
+/// in [0, kLinearStride).
+inline constexpr std::int64_t kLinearStride = std::int64_t(1) << 20;
+std::int64_t linearizeBlockVector(const pb::Tuple& blockRep);
+
+/// Lowers the AST to the task program.
+TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast);
+
+/// Convenience: full front-to-back pipeline compilation
+/// (detect -> schedule -> AST -> tasks). Options forward to Algorithm 1
+/// (block integration mode, task granularity).
+TaskProgram compilePipeline(const scop::Scop& scop,
+                            const pipeline::DetectOptions& options = {});
+
+} // namespace pipoly::codegen

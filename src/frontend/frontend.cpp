@@ -1,0 +1,507 @@
+#include "frontend/frontend.hpp"
+
+#include "scop/builder.hpp"
+#include "support/assert.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace pipoly::frontend {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    Ident,
+    Int,
+    KwParam,
+    KwArray,
+    KwFor,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Assign,
+    Lt,
+    Le,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Increment,
+    End,
+  };
+  Kind kind;
+  std::string text;
+  pb::Value value = 0;
+  int line = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  bool accept(Token::Kind k) {
+    if (current_.kind != k)
+      return false;
+    advance();
+    return true;
+  }
+
+  Token expect(Token::Kind k, const char* what) {
+    PIPOLY_CHECK_MSG(current_.kind == k,
+                     "frontend: line " + std::to_string(current_.line) +
+                         ": expected " + what + " near '" + current_.text +
+                         "'");
+    return take();
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error("frontend: line " + std::to_string(current_.line) + ": " +
+                message);
+  }
+
+private:
+  void advance() {
+    skipWhitespaceAndComments();
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::End, "<end>", 0, line_};
+      return;
+    }
+    const char c = text_[pos_];
+    auto single = [&](Token::Kind k) {
+      current_ = {k, std::string(1, c), 0, line_};
+      ++pos_;
+    };
+    switch (c) {
+    case '(':
+      return single(Token::Kind::LParen);
+    case ')':
+      return single(Token::Kind::RParen);
+    case '[':
+      return single(Token::Kind::LBracket);
+    case ']':
+      return single(Token::Kind::RBracket);
+    case ',':
+      return single(Token::Kind::Comma);
+    case ';':
+      return single(Token::Kind::Semicolon);
+    case ':':
+      return single(Token::Kind::Colon);
+    case '=':
+      return single(Token::Kind::Assign);
+    case '*':
+      return single(Token::Kind::Star);
+    case '/':
+      return single(Token::Kind::Slash);
+    case '-':
+      return single(Token::Kind::Minus);
+    case '+':
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '+') {
+        current_ = {Token::Kind::Increment, "++", 0, line_};
+        pos_ += 2;
+        return;
+      }
+      return single(Token::Kind::Plus);
+    case '<':
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        current_ = {Token::Kind::Le, "<=", 0, line_};
+        pos_ += 2;
+        return;
+      }
+      return single(Token::Kind::Lt);
+    default:
+      break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      std::string num(text_.substr(start, pos_ - start));
+      current_ = {Token::Kind::Int, num, std::stoll(num), line_};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_'))
+        ++pos_;
+      std::string word(text_.substr(start, pos_ - start));
+      Token::Kind kind = Token::Kind::Ident;
+      if (word == "param")
+        kind = Token::Kind::KwParam;
+      else if (word == "array")
+        kind = Token::Kind::KwArray;
+      else if (word == "for")
+        kind = Token::Kind::KwFor;
+      current_ = {kind, std::move(word), 0, line_};
+      return;
+    }
+    throw Error("frontend: line " + std::to_string(line_) +
+                ": unexpected character '" + std::string(1, c) + "'");
+  }
+
+  void skipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n')
+          ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------
+// Linear expressions over named iterators (parameters fold to constants).
+// ---------------------------------------------------------------------
+
+struct LinExpr {
+  std::map<std::string, pb::Value> coeffs; // iterator name -> coefficient
+  pb::Value constant = 0;
+
+  bool isConstant() const { return coeffs.empty(); }
+
+  LinExpr& operator+=(const LinExpr& o) {
+    for (const auto& [n, c] : o.coeffs)
+      if ((coeffs[n] += c) == 0)
+        coeffs.erase(n);
+    constant += o.constant;
+    return *this;
+  }
+  LinExpr& operator-=(const LinExpr& o) {
+    for (const auto& [n, c] : o.coeffs)
+      if ((coeffs[n] -= c) == 0)
+        coeffs.erase(n);
+    constant -= o.constant;
+    return *this;
+  }
+  void scale(pb::Value k) {
+    if (k == 0) {
+      coeffs.clear();
+      constant = 0;
+      return;
+    }
+    for (auto& [n, c] : coeffs)
+      c *= k;
+    constant *= k;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct LoopLevel {
+  std::string iterator;
+  LinExpr lower;
+  LinExpr upperExclusive;
+};
+
+class Parser {
+public:
+  Parser(std::string_view source, const ParamOverrides& overrides)
+      : lexer_(source), overrides_(overrides), builder_("program") {}
+
+  scop::Scop run() {
+    while (lexer_.peek().kind != Token::Kind::End) {
+      switch (lexer_.peek().kind) {
+      case Token::Kind::KwParam:
+        parseParam();
+        break;
+      case Token::Kind::KwArray:
+        parseArray();
+        break;
+      case Token::Kind::KwFor:
+        parseNest();
+        break;
+      default:
+        lexer_.fail("expected 'param', 'array' or 'for'");
+      }
+    }
+    PIPOLY_CHECK_MSG(statementCount_ > 0,
+                     "frontend: program has no loop nests");
+    return builder_.build();
+  }
+
+  std::vector<std::string> functionNames() && {
+    return std::move(functionNames_);
+  }
+
+private:
+  void parseParam() {
+    lexer_.expect(Token::Kind::KwParam, "'param'");
+    Token name = lexer_.expect(Token::Kind::Ident, "parameter name");
+    lexer_.expect(Token::Kind::Assign, "'='");
+    LinExpr value = parseExpr();
+    if (!value.isConstant())
+      lexer_.fail("parameter initialiser must be constant");
+    lexer_.expect(Token::Kind::Semicolon, "';'");
+    auto it = overrides_.find(name.text);
+    params_[name.text] = it != overrides_.end() ? it->second : value.constant;
+  }
+
+  void parseArray() {
+    lexer_.expect(Token::Kind::KwArray, "'array'");
+    Token name = lexer_.expect(Token::Kind::Ident, "array name");
+    if (arrays_.count(name.text))
+      lexer_.fail("array '" + name.text + "' already declared");
+    std::vector<pb::Value> shape;
+    while (lexer_.accept(Token::Kind::LBracket)) {
+      LinExpr extent = parseExpr();
+      if (!extent.isConstant())
+        lexer_.fail("array extents must be constant");
+      if (extent.constant <= 0)
+        lexer_.fail("array extents must be positive");
+      shape.push_back(extent.constant);
+      lexer_.expect(Token::Kind::RBracket, "']'");
+    }
+    if (shape.empty())
+      lexer_.fail("array needs at least one dimension");
+    lexer_.expect(Token::Kind::Semicolon, "';'");
+    arrays_[name.text] = builder_.array(name.text, shape);
+  }
+
+  void parseNest() {
+    PIPOLY_CHECK(loops_.empty());
+    parseLoopOrStatement();
+    PIPOLY_CHECK(loops_.empty());
+  }
+
+  void parseLoopOrStatement() {
+    if (lexer_.peek().kind == Token::Kind::KwFor) {
+      parseLoop();
+      return;
+    }
+    parseStatement();
+  }
+
+  void parseLoop() {
+    lexer_.expect(Token::Kind::KwFor, "'for'");
+    lexer_.expect(Token::Kind::LParen, "'('");
+    Token iter = lexer_.expect(Token::Kind::Ident, "iterator");
+    for (const LoopLevel& l : loops_)
+      if (l.iterator == iter.text)
+        lexer_.fail("iterator '" + iter.text + "' reused in nested loop");
+    if (params_.count(iter.text))
+      lexer_.fail("iterator '" + iter.text + "' shadows a parameter");
+    lexer_.expect(Token::Kind::Assign, "'='");
+    LinExpr lower = parseExpr();
+    lexer_.expect(Token::Kind::Semicolon, "';'");
+    Token cmpVar = lexer_.expect(Token::Kind::Ident, "iterator");
+    if (cmpVar.text != iter.text)
+      lexer_.fail("loop condition must test the loop iterator");
+    bool inclusive = false;
+    if (lexer_.accept(Token::Kind::Le))
+      inclusive = true;
+    else
+      lexer_.expect(Token::Kind::Lt, "'<' or '<='");
+    LinExpr upper = parseExpr();
+    if (inclusive)
+      upper.constant += 1;
+    lexer_.expect(Token::Kind::Semicolon, "';'");
+    Token incVar = lexer_.expect(Token::Kind::Ident, "iterator");
+    if (incVar.text != iter.text)
+      lexer_.fail("loop increment must update the loop iterator");
+    lexer_.expect(Token::Kind::Increment, "'++'");
+    lexer_.expect(Token::Kind::RParen, "')'");
+
+    loops_.push_back(LoopLevel{iter.text, std::move(lower), std::move(upper)});
+    parseLoopOrStatement();
+    loops_.pop_back();
+  }
+
+  void parseStatement() {
+    Token name = lexer_.expect(Token::Kind::Ident, "statement label");
+    lexer_.expect(Token::Kind::Colon, "':'");
+    if (loops_.empty())
+      lexer_.fail("statement outside of a loop nest");
+    if (!statementNames_.insert(name.text).second)
+      lexer_.fail("statement '" + name.text + "' already defined");
+
+    const std::size_t depth = loops_.size();
+    auto stmt = builder_.statement(name.text, depth);
+    for (std::size_t k = 0; k < depth; ++k)
+      stmt.bound(k, lowerToAffine(loops_[k].lower, depth),
+                 lowerToAffine(loops_[k].upperExclusive, depth));
+
+    auto [writeArray, writeSubs] = parseAccess(depth);
+    stmt.write(writeArray, std::move(writeSubs));
+
+    lexer_.expect(Token::Kind::Assign, "'='");
+    Token fn = lexer_.expect(Token::Kind::Ident, "function name");
+    functionNames_.push_back(fn.text);
+    lexer_.expect(Token::Kind::LParen, "'('");
+    if (lexer_.peek().kind != Token::Kind::RParen) {
+      do {
+        auto [readArray, readSubs] = parseAccess(depth);
+        stmt.read(readArray, std::move(readSubs));
+      } while (lexer_.accept(Token::Kind::Comma));
+    }
+    lexer_.expect(Token::Kind::RParen, "')'");
+    lexer_.expect(Token::Kind::Semicolon, "';'");
+    ++statementCount_;
+  }
+
+  std::pair<std::size_t, std::vector<pb::AffineExpr>>
+  parseAccess(std::size_t depth) {
+    Token name = lexer_.expect(Token::Kind::Ident, "array name");
+    auto it = arrays_.find(name.text);
+    if (it == arrays_.end())
+      lexer_.fail("unknown array '" + name.text + "'");
+    std::vector<pb::AffineExpr> subs;
+    while (lexer_.accept(Token::Kind::LBracket)) {
+      subs.push_back(lowerToAffine(parseExpr(), depth));
+      lexer_.expect(Token::Kind::RBracket, "']'");
+    }
+    if (subs.empty())
+      lexer_.fail("array access needs subscripts");
+    return {it->second, std::move(subs)};
+  }
+
+  pb::AffineExpr lowerToAffine(const LinExpr& e, std::size_t depth) const {
+    pb::AffineExpr out(depth, e.constant);
+    for (const auto& [iterName, coeff] : e.coeffs) {
+      std::optional<std::size_t> dim;
+      for (std::size_t k = 0; k < loops_.size() && k < depth; ++k)
+        if (loops_[k].iterator == iterName)
+          dim = k;
+      PIPOLY_CHECK_MSG(dim.has_value(),
+                       "frontend: unknown iterator '" + iterName + "'");
+      out.coeff(*dim) += coeff;
+    }
+    return out;
+  }
+
+  // expr := term (('+'|'-') term)*
+  LinExpr parseExpr() {
+    LinExpr acc = parseTerm();
+    while (true) {
+      if (lexer_.accept(Token::Kind::Plus))
+        acc += parseTerm();
+      else if (lexer_.accept(Token::Kind::Minus))
+        acc -= parseTerm();
+      else
+        return acc;
+    }
+  }
+
+  // term := factor (('*'|'/') factor)*   with affine restrictions
+  LinExpr parseTerm() {
+    LinExpr acc = parseFactor();
+    while (true) {
+      if (lexer_.accept(Token::Kind::Star)) {
+        LinExpr rhs = parseFactor();
+        if (acc.isConstant()) {
+          pb::Value k = acc.constant;
+          acc = rhs;
+          acc.scale(k);
+        } else if (rhs.isConstant()) {
+          acc.scale(rhs.constant);
+        } else {
+          lexer_.fail("non-affine product of two iterators");
+        }
+      } else if (lexer_.accept(Token::Kind::Slash)) {
+        LinExpr rhs = parseFactor();
+        if (!acc.isConstant() || !rhs.isConstant())
+          lexer_.fail("division is only supported between constants");
+        if (rhs.constant == 0)
+          lexer_.fail("division by zero");
+        acc.constant /= rhs.constant;
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  LinExpr parseFactor() {
+    if (lexer_.accept(Token::Kind::Minus)) {
+      LinExpr e = parseFactor();
+      e.scale(-1);
+      return e;
+    }
+    if (lexer_.accept(Token::Kind::LParen)) {
+      LinExpr e = parseExpr();
+      lexer_.expect(Token::Kind::RParen, "')'");
+      return e;
+    }
+    if (lexer_.peek().kind == Token::Kind::Int) {
+      LinExpr e;
+      e.constant = lexer_.take().value;
+      return e;
+    }
+    Token id = lexer_.expect(Token::Kind::Ident, "identifier or number");
+    LinExpr e;
+    if (auto p = params_.find(id.text); p != params_.end()) {
+      e.constant = p->second;
+    } else {
+      bool known = false;
+      for (const LoopLevel& l : loops_)
+        known = known || l.iterator == id.text;
+      if (!known)
+        lexer_.fail("unknown identifier '" + id.text + "'");
+      e.coeffs[id.text] = 1;
+    }
+    return e;
+  }
+
+  Lexer lexer_;
+  const ParamOverrides& overrides_;
+  scop::ScopBuilder builder_;
+  std::map<std::string, pb::Value> params_;
+  std::map<std::string, std::size_t> arrays_;
+  std::set<std::string> statementNames_;
+  std::vector<LoopLevel> loops_;
+  std::vector<std::string> functionNames_;
+  std::size_t statementCount_ = 0;
+};
+
+} // namespace
+
+scop::Scop parseProgram(std::string_view source,
+                        const ParamOverrides& overrides) {
+  Parser parser(source, overrides);
+  return parser.run();
+}
+
+std::vector<std::string> parseFunctionNames(std::string_view source,
+                                            const ParamOverrides& overrides) {
+  Parser parser(source, overrides);
+  (void)parser.run();
+  return std::move(parser).functionNames();
+}
+
+} // namespace pipoly::frontend

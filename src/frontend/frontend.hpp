@@ -1,0 +1,57 @@
+#pragma once
+
+// A miniature C-like frontend: parses programs of consecutive for-loop
+// nests into SCoPs, playing the role Polly's SCoP detection on LLVM-IR
+// plays for the paper's prototype. Grammar (whitespace-insensitive):
+//
+//   program   := (arrayDecl | paramDecl | nest)*
+//   paramDecl := 'param' NAME '=' INT ';'
+//   arrayDecl := 'array' NAME ('[' expr ']')+ ';'
+//   nest      := loop
+//   loop      := 'for' '(' NAME '=' expr ';' NAME '<' expr ';' NAME '++' ')'
+//                 (loop | stmt)
+//   stmt      := NAME ':' access '=' NAME '(' access (',' access)* ')' ';'
+//   access    := NAME ('[' expr ']')+
+//   expr      := affine expression over parameters and enclosing
+//                iterators: INT, NAME, unary -, +, -, INT '*' NAME, (...)
+//
+// Each nest contains exactly one statement (the paper's program model);
+// the statement's first access (left of '=') is its write, the call
+// arguments are its reads. The function name (`f`, `g`, ...) is kept as
+// metadata — the frontend describes memory behaviour, not arithmetic.
+//
+// Example (the paper's Listing 1):
+//
+//   param N = 20;
+//   array A[N][N]; array B[N][N];
+//   for (i = 0; i < N - 1; i++)
+//     for (j = 0; j < N - 1; j++)
+//       S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+//   for (i = 0; i < N/2 - 1; i++)
+//     for (j = 0; j < N/2 - 1; j++)
+//       R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+
+#include "scop/scop.hpp"
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pipoly::frontend {
+
+using ParamOverrides = std::map<std::string, pb::Value>;
+
+/// Parses a program; `overrides` replaces the values of declared
+/// parameters (a parameter must still be declared in the source).
+/// Throws pipoly::Error with a line-annotated message on any syntax or
+/// semantic problem (unknown array, rank mismatch, non-affine subscript,
+/// iterator reuse, ...).
+scop::Scop parseProgram(std::string_view source,
+                        const ParamOverrides& overrides = {});
+
+/// The statement "body" metadata the parser collects: the called function
+/// name per statement, in statement order.
+std::vector<std::string> parseFunctionNames(std::string_view source,
+                                            const ParamOverrides& overrides = {});
+
+} // namespace pipoly::frontend

@@ -1,0 +1,42 @@
+#pragma once
+
+// Additional realistic pipeline-chain workloads beyond the paper's two
+// benchmark sets — the kind of imbalanced, serial-per-stage programs the
+// paper's introduction motivates (§1: "well suited to handle imbalanced
+// iterations"). All fit the paper's program model: consecutive depth-2
+// nests, each writing its own array and reading earlier ones.
+
+#include "scop/scop.hpp"
+
+#include <vector>
+
+namespace pipoly::kernels {
+
+/// `stages` Jacobi-style smoothing stages: stage k reads a 3x3
+/// neighbourhood of stage k-1's grid plus its own previous column
+/// (making each stage serial), on an n x n grid.
+scop::Scop jacobiChain(std::size_t stages, pb::Value n);
+
+/// Gauss–Seidel-style chain: each stage reads its *own* grid at
+/// [i-1][j] and [i][j-1] (the classic sweep dependencies, serial in both
+/// dims) plus the previous stage's grid at [i][j].
+scop::Scop seidelChain(std::size_t stages, pb::Value n);
+
+/// An imbalanced chain: `stages` nests whose iteration domains shrink by
+/// `shrink` per stage (stage k is ((n - k*shrink) x (n - k*shrink))),
+/// each reading the previous stage point-wise. Models a coarsening
+/// multigrid-like pipeline where time(L_max) dominates (§4.4's average
+/// case, Fig. 5).
+scop::Scop shrinkingChain(std::size_t stages, pb::Value n, pb::Value shrink);
+
+/// Per-stage relative weights for an imbalanced cost model: stage k of a
+/// shrinking chain gets weight `weights[k]`.
+std::vector<double> defaultStageWeights(std::size_t stages);
+
+/// FDTD-like chain: each stage statement updates *two* field arrays
+/// (multi-write statements) from the previous stage's fields plus its own
+/// neighbourhood — exercises union write relations through the whole
+/// stack.
+scop::Scop fdtdChain(std::size_t stages, pb::Value n);
+
+} // namespace pipoly::kernels

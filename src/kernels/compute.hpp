@@ -1,0 +1,35 @@
+#pragma once
+
+// The compute-intensive kernel of the paper's first benchmark set.
+//
+// The paper calls GMP's next_prime on arrays of `SIZE` multi-precision
+// integers, `num` times per statement instance. GMP is not available
+// offline, so we substitute a deterministic 64-bit Miller–Rabin
+// next_prime iterated over a SIZE-element buffer: like the original it is
+// pure CPU work whose cost scales roughly linearly in both `num` and
+// `SIZE`, which is the only property the benchmark uses (DESIGN.md,
+// substitution table).
+
+#include <cstdint>
+
+namespace pipoly::kernels {
+
+/// Deterministic primality test, exact for all 64-bit integers
+/// (Miller–Rabin with the 12 known-sufficient bases).
+bool isPrime(std::uint64_t n);
+
+/// Smallest prime strictly greater than n.
+std::uint64_t nextPrime(std::uint64_t n);
+
+/// One statement-instance worth of work: a SIZE-element buffer seeded from
+/// `seed` is advanced to the next prime `num` times, mixing elements
+/// between rounds (mimicking element-wise addition + next_prime of the
+/// paper's gmp_data). Returns a checksum so the work cannot be optimised
+/// away.
+std::uint64_t computeKernel(std::uint64_t seed, int num, int size);
+
+/// Measures the average wall-clock seconds of one computeKernel(num, size)
+/// call on this host (used to calibrate the simulator's cost model).
+double measureComputeCost(int num, int size);
+
+} // namespace pipoly::kernels

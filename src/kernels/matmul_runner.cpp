@@ -1,0 +1,71 @@
+#include "kernels/matmul_runner.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace pipoly::kernels {
+
+MatmulRunner::MatmulRunner(MatmulVariant variant, std::size_t chainLength,
+                           pb::Value n)
+    : variant_(variant), chainLength_(chainLength), n_(n) {
+  const auto size = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  input_.resize(size);
+  operands_.assign(chainLength, std::vector<double>(size));
+  results_.assign(chainLength, std::vector<double>(size));
+  reset();
+}
+
+void MatmulRunner::reset() {
+  SplitMix64 rng(12345);
+  auto fill = [&](std::vector<double>& m, double scale) {
+    for (double& v : m)
+      v = scale * (static_cast<double>(rng.nextBelow(1000)) / 1000.0 - 0.5);
+  };
+  fill(input_, 1.0);
+  for (auto& op : operands_)
+    fill(op, 0.25); // keep the chain numerically tame
+  for (auto& res : results_)
+    fill(res, 0.125); // initial values matter for the generalized variant
+}
+
+double& MatmulRunner::result(std::size_t stage, pb::Value i, pb::Value j) {
+  return results_[stage][static_cast<std::size_t>(i * n_ + j)];
+}
+
+double MatmulRunner::operand(std::size_t stage, pb::Value k,
+                             pb::Value j) const {
+  // Transposed variants store B^T, so "column j" is a contiguous row.
+  const auto idx = isTransposed(variant_)
+                       ? static_cast<std::size_t>(j * n_ + k)
+                       : static_cast<std::size_t>(k * n_ + j);
+  return operands_[stage][idx];
+}
+
+void MatmulRunner::execute(std::size_t stmtIdx, const pb::Tuple& iteration) {
+  PIPOLY_CHECK(stmtIdx < chainLength_);
+  const pb::Value i = iteration[0], j = iteration[1];
+  const std::vector<double>& prev =
+      stmtIdx == 0 ? input_ : results_[stmtIdx - 1];
+  double dot = 0.0;
+  for (pb::Value k = 0; k < n_; ++k)
+    dot += prev[static_cast<std::size_t>(i * n_ + k)] *
+           operand(stmtIdx, k, j);
+  if (isGeneralized(variant_)) {
+    // gnmm: multiply by C[i+1][j] + C[i][j-1] of the result matrix.
+    dot *= result(stmtIdx, i + 1, j) + result(stmtIdx, i, j - 1);
+  }
+  result(stmtIdx, i, j) = dot;
+}
+
+std::uint64_t MatmulRunner::fingerprint() const {
+  std::uint64_t acc = 0x1234;
+  for (const auto& res : results_)
+    for (double v : res)
+      acc = hashCombine(acc,
+                        static_cast<std::uint64_t>(std::llround(v * 1e6)));
+  return acc;
+}
+
+} // namespace pipoly::kernels

@@ -1,0 +1,47 @@
+#pragma once
+
+// Real (floating-point) execution of the matmul-chain kernels: statement
+// instances compute actual dot products on double matrices. Used by the
+// examples, by correctness tests, and for real wall-clock runs on hosts
+// with multiple cores.
+
+#include "kernels/matmul.hpp"
+#include "tasking/executor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace pipoly::kernels {
+
+class MatmulRunner {
+public:
+  MatmulRunner(MatmulVariant variant, std::size_t chainLength, pb::Value n);
+
+  void reset();
+
+  /// Executes one dynamic instance of statement `stmtIdx` (= chain stage).
+  void execute(std::size_t stmtIdx, const pb::Tuple& iteration);
+
+  tasking::StatementExecutor executor() {
+    return [this](std::size_t stmt, const pb::Tuple& it) {
+      execute(stmt, it);
+    };
+  }
+
+  /// Quantised checksum over all result matrices (stable across orderings
+  /// that respect the dependences).
+  std::uint64_t fingerprint() const;
+
+private:
+  double& result(std::size_t stage, pb::Value i, pb::Value j);
+  double operand(std::size_t stage, pb::Value k, pb::Value j) const;
+
+  MatmulVariant variant_;
+  std::size_t chainLength_;
+  pb::Value n_;
+  std::vector<double> input_;
+  std::vector<std::vector<double>> operands_;
+  std::vector<std::vector<double>> results_;
+};
+
+} // namespace pipoly::kernels

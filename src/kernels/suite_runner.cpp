@@ -1,0 +1,61 @@
+#include "kernels/suite_runner.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace pipoly::kernels {
+
+SuiteRunner::SuiteRunner(const ProgramSpec& spec, const scop::Scop& scop,
+                         int size)
+    : spec_(&spec), scop_(&scop), size_(size) {
+  PIPOLY_CHECK(spec.nums.size() == scop.numStatements());
+  arrays_.reserve(scop.arrays().size());
+  for (const scop::Array& a : scop.arrays()) {
+    std::size_t total = 1;
+    for (pb::Value extent : a.shape)
+      total *= static_cast<std::size_t>(extent);
+    arrays_.emplace_back(total);
+  }
+  reset();
+}
+
+void SuiteRunner::reset() {
+  for (std::size_t a = 0; a < arrays_.size(); ++a)
+    for (std::size_t i = 0; i < arrays_[a].size(); ++i)
+      arrays_[a][i] = hashCombine(0xabcd + a, i);
+}
+
+std::uint64_t& SuiteRunner::element(std::size_t arrayId,
+                                    const pb::Tuple& subs) {
+  const scop::Array& arr = scop_->array(arrayId);
+  std::size_t flat = 0;
+  for (std::size_t d = 0; d < subs.size(); ++d)
+    flat = flat * static_cast<std::size_t>(arr.shape[d]) +
+           static_cast<std::size_t>(subs[d]);
+  return arrays_[arrayId][flat];
+}
+
+void SuiteRunner::execute(std::size_t stmtIdx, const pb::Tuple& iteration) {
+  const scop::Statement& stmt = scop_->statement(stmtIdx);
+  // Element-wise combination of the operands (the paper adds the input
+  // arguments element-wise before next_prime).
+  std::uint64_t seed = hashCombine(0x5u, stmtIdx);
+  for (const scop::Access& read : stmt.reads())
+    seed = hashCombine(seed,
+                       element(read.arrayId,
+                               read.subscripts.evaluate(iteration)));
+  const std::uint64_t value =
+      computeKernel(seed, spec_->nums[stmtIdx], size_);
+  for (const scop::Access& write : stmt.writes())
+    element(write.arrayId, write.subscripts.evaluate(iteration)) = value;
+}
+
+std::uint64_t SuiteRunner::fingerprint() const {
+  std::uint64_t acc = 0x2718;
+  for (const auto& arr : arrays_)
+    for (std::uint64_t v : arr)
+      acc = hashCombine(acc, v);
+  return acc;
+}
+
+} // namespace pipoly::kernels

@@ -1,0 +1,47 @@
+#pragma once
+
+// Real execution of a Table-9 program: every statement instance runs the
+// actual compute kernel (next_prime over a SIZE-element buffer) on real
+// arrays. Used for end-to-end correctness checks against the sequential
+// run, and for real wall-clock measurements on hosts with multiple cores.
+
+#include "kernels/compute.hpp"
+#include "kernels/suite.hpp"
+#include "scop/scop.hpp"
+#include "tasking/executor.hpp"
+
+#include <vector>
+
+namespace pipoly::kernels {
+
+class SuiteRunner {
+public:
+  /// The runner needs the spec (for the per-nest num values), the built
+  /// SCoP, and the SIZE parameter of the compute kernel.
+  SuiteRunner(const ProgramSpec& spec, const scop::Scop& scop, int size);
+
+  void reset();
+
+  /// Executes one dynamic instance: mixes the values this instance reads
+  /// (per the declared accesses), runs the compute kernel with the nest's
+  /// num, and stores the result.
+  void execute(std::size_t stmtIdx, const pb::Tuple& iteration);
+
+  tasking::StatementExecutor executor() {
+    return [this](std::size_t stmtIdx, const pb::Tuple& it) {
+      execute(stmtIdx, it);
+    };
+  }
+
+  std::uint64_t fingerprint() const;
+
+private:
+  std::uint64_t& element(std::size_t arrayId, const pb::Tuple& subs);
+
+  const ProgramSpec* spec_;
+  const scop::Scop* scop_;
+  int size_;
+  std::vector<std::vector<std::uint64_t>> arrays_;
+};
+
+} // namespace pipoly::kernels

@@ -1,0 +1,58 @@
+#include "pipeline/blocking.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+
+namespace pipoly::pipeline {
+
+pb::IntMap blockingMap(const pb::IntTupleSet& domain,
+                       const pb::IntTupleSet& boundaries) {
+  PIPOLY_CHECK(boundaries.isSubsetOf(domain));
+  PIPOLY_CHECK_MSG(!domain.empty(), "blocking an empty domain");
+  const auto& bounds = boundaries.points();
+  const pb::Tuple& last = domain.lexmax();
+  std::vector<pb::IntMap::Pair> pairs;
+  pairs.reserve(domain.size());
+  for (const pb::Tuple& it : domain.points()) {
+    auto bound = std::lower_bound(bounds.begin(), bounds.end(), it);
+    pairs.emplace_back(it, bound == bounds.end() ? last : *bound);
+  }
+  pb::IntMap result(domain.space(), domain.space(), std::move(pairs));
+  PIPOLY_ASSERT(result.isSingleValued());
+  return result;
+}
+
+pb::IntMap blockingMapNaive(const pb::IntTupleSet& domain,
+                            const pb::IntTupleSet& boundaries) {
+  // Eq. 2: B' = lexleset(I, B); V = lexmin(B').
+  pb::IntMap covered = pb::IntMap::lexLeSet(domain, boundaries)
+                           .lexminPerDomain();
+  // Remainder rule: iterations past the last boundary map to lexmax(I).
+  pb::IntTupleSet rest = domain.subtract(covered.domain());
+  std::vector<pb::IntMap::Pair> extra;
+  for (const pb::Tuple& it : rest.points())
+    extra.emplace_back(it, domain.lexmax());
+  return covered.unite(
+      pb::IntMap(domain.space(), domain.space(), std::move(extra)));
+}
+
+pb::IntMap sourceBlockingMap(const pb::IntTupleSet& srcDomain,
+                             const pb::IntMap& pipelineMap) {
+  return blockingMap(srcDomain, pipelineMap.domain());
+}
+
+pb::IntMap targetBlockingMap(const pb::IntTupleSet& tgtDomain,
+                             const pb::IntMap& pipelineMap) {
+  return blockingMap(tgtDomain, pipelineMap.range());
+}
+
+pb::IntMap integrateBlockingMaps(const std::vector<pb::IntMap>& maps) {
+  PIPOLY_CHECK_MSG(!maps.empty(), "no blocking maps to integrate");
+  pb::IntMap acc = maps.front();
+  for (std::size_t i = 1; i < maps.size(); ++i)
+    acc = acc.unite(maps[i]);
+  return acc.lexminPerDomain();
+}
+
+} // namespace pipoly::pipeline

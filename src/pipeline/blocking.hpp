@@ -1,0 +1,46 @@
+#pragma once
+
+// §4.2 — blocking maps. A blocking map partitions an iteration domain into
+// contiguous (in lexicographic order) blocks, mapping every iteration to
+// the lexicographically largest member of its block (the block
+// *representative*). Block boundaries come from a pipeline map: Dom(T) for
+// the source statement, Range(T) for the target statement (eq. 2).
+// Iterations past the last boundary form a remainder block represented by
+// lexmax of the domain (the paper's final-block rule).
+//
+// The integrated per-statement map Σ_S (eq. 3) is the lexmin of the union
+// of all source and target blocking maps of S: every iteration gets the
+// smallest block it belongs to across all pipeline maps involving S.
+
+#include "presburger/map.hpp"
+#include "presburger/set.hpp"
+
+#include <vector>
+
+namespace pipoly::pipeline {
+
+/// Generic blocking: maps every iteration of `domain` to the smallest
+/// element of `boundaries` that is lexge it, or to lexmax(domain) when
+/// there is none. `boundaries` must be a subset of `domain`.
+pb::IntMap blockingMap(const pb::IntTupleSet& domain,
+                       const pb::IntTupleSet& boundaries);
+
+/// Reference implementation via the paper's formula (eq. 2):
+/// lexmin(lexleset(domain, boundaries)), plus the remainder rule. Used by
+/// tests to cross-check `blockingMap`.
+pb::IntMap blockingMapNaive(const pb::IntTupleSet& domain,
+                            const pb::IntTupleSet& boundaries);
+
+/// Source blocking map V_S for pipeline map T (eq. 2, source side).
+pb::IntMap sourceBlockingMap(const pb::IntTupleSet& srcDomain,
+                             const pb::IntMap& pipelineMap);
+
+/// Target blocking map Y_T for pipeline map T (eq. 2, target side).
+pb::IntMap targetBlockingMap(const pb::IntTupleSet& tgtDomain,
+                             const pb::IntMap& pipelineMap);
+
+/// Σ_S (eq. 3): lexmin of the union of all blocking maps of one statement.
+/// All maps must share the statement's space and be total on its domain.
+pb::IntMap integrateBlockingMaps(const std::vector<pb::IntMap>& maps);
+
+} // namespace pipoly::pipeline

@@ -1,0 +1,175 @@
+#include "pipeline/detect.hpp"
+
+#include "pipeline/symbolic.hpp"
+#include "scop/dependences.hpp"
+#include "support/assert.hpp"
+
+namespace pipoly::pipeline {
+
+std::size_t PipelineInfo::totalBlocks() const {
+  std::size_t n = 0;
+  for (const StatementPipelineInfo& s : statements)
+    n += s.blockReps.size();
+  return n;
+}
+
+namespace {
+
+/// Merges every `factor` consecutive blocks into one by keeping every
+/// factor-th boundary (and always the last), then re-deriving the blocking
+/// map over the coarsened boundary set.
+pb::IntMap coarsenBlocking(const pb::IntTupleSet& domain,
+                           const pb::IntMap& blocking, std::size_t factor) {
+  if (factor <= 1)
+    return blocking;
+  const pb::IntTupleSet reps = blocking.range();
+  std::vector<pb::Tuple> kept;
+  const auto& points = reps.points();
+  for (std::size_t i = factor - 1; i < points.size(); i += factor)
+    kept.push_back(points[i]);
+  if (kept.empty() || kept.back() != points.back())
+    kept.push_back(points.back());
+  return blockingMap(domain,
+                     pb::IntTupleSet(domain.space(), std::move(kept)));
+}
+
+} // namespace
+
+PipelineInfo detectPipeline(const scop::Scop& scop,
+                            const DetectOptions& options) {
+  scop::validateProgramModel(scop);
+  PIPOLY_CHECK(options.coarsening >= 1);
+  const std::size_t n = scop.numStatements();
+  PipelineInfo info;
+  info.statements.resize(n);
+
+  // Algorithm 1, lines 1-7: pipeline maps and per-pair blocking maps.
+  std::vector<std::vector<pb::IntMap>> blockingMaps(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t s = 0; s < t; ++s) {
+      if (!scop::dependsOn(scop, t, s))
+        continue;
+      // The symbolic fast path covers identity-write sources (most
+      // kernels); the explicit Wr^-1(Rd) composition is the general case.
+      pb::IntMap tMap;
+      if (std::optional<pb::IntMap> fast = trySymbolicPipelineMap(scop, s, t))
+        tMap = std::move(*fast);
+      else
+        tMap = pipelineMap(scop, s, t, options.allowNonInjectiveWrites);
+      if (tMap.empty())
+        continue;
+      blockingMaps[s].push_back(
+          sourceBlockingMap(scop.statement(s).domain(), tMap));
+      blockingMaps[t].push_back(
+          targetBlockingMap(scop.statement(t).domain(), tMap));
+      info.maps.push_back(PipelineMapEntry{s, t, std::move(tMap)});
+    }
+  }
+
+  // Algorithm 1, lines 8-10: integrate blocking maps (eq. 3) and build the
+  // out-dependency identity. Statements not involved in any pipeline map
+  // become a single block (their whole domain as one task).
+  for (std::size_t s = 0; s < n; ++s) {
+    StatementPipelineInfo& st = info.statements[s];
+    const pb::IntTupleSet& domain = scop.statement(s).domain();
+    if (blockingMaps[s].empty()) {
+      st.blocking = blockingMap(domain, pb::IntTupleSet(domain.space()));
+    } else if (options.integration == DetectOptions::Integration::LexminUnion) {
+      st.blocking = integrateBlockingMaps(blockingMaps[s]);
+    } else {
+      st.blocking = blockingMaps[s].front();
+    }
+    st.blocking = coarsenBlocking(domain, st.blocking, options.coarsening);
+    st.expansion = st.blocking.inverse();
+    st.blockReps = st.blocking.range();
+    st.outDependency = pb::IntMap::identity(st.blockReps);
+
+    if (options.relaxSameNestOrdering) {
+      // §7 combination with per-nest parallelism: compute the exact
+      // cross-block self-dependence edges. Blocks with no incoming edge
+      // from another block may run as soon as their cross-statement
+      // requirements are met.
+      st.chainOrdering = false;
+      std::vector<pb::IntMap::Pair> edges;
+      const pb::IntMap selfDeps = scop::selfDependences(scop, s);
+      for (const auto& [i, j] : selfDeps.pairs()) {
+        pb::Tuple from = *st.blocking.singleImageOf(i);
+        pb::Tuple to = *st.blocking.singleImageOf(j);
+        if (from != to)
+          edges.emplace_back(std::move(to), std::move(from));
+      }
+      st.selfEdges = pb::IntMap(scop.statement(s).space(),
+                                scop.statement(s).space(), std::move(edges));
+    }
+  }
+
+  // Algorithm 1, lines 11-12: in-dependency maps (eq. 4). For each
+  // pipeline map T_{S,T}, every block of T needs the last source block
+  // that enables it: Q = T^-1 ( Y_T ( Range(Σ_T) ) ).
+  //
+  // With relaxed same-nest ordering the prefix argument behind eq. 4 no
+  // longer holds (finishing a source block does not imply earlier source
+  // blocks finished), so the requirements switch to the exact data-flow
+  // edges: each target block depends on every source block it actually
+  // reads from, derived from P = Wr^-1(Rd).
+  for (const PipelineMapEntry& entry : info.maps) {
+    const scop::Statement& tgt = scop.statement(entry.tgtIdx);
+    StatementPipelineInfo& tgtInfo = info.statements[entry.tgtIdx];
+    const StatementPipelineInfo& srcInfo = info.statements[entry.srcIdx];
+
+    if (options.relaxSameNestOrdering) {
+      pb::IntMap p = producerRelation(scop, entry.srcIdx, entry.tgtIdx,
+                                      options.allowNonInjectiveWrites);
+      std::vector<pb::IntMap::Pair> pairs;
+      pairs.reserve(p.size());
+      for (const auto& [j, i] : p.pairs())
+        pairs.emplace_back(*tgtInfo.blocking.singleImageOf(j),
+                           *srcInfo.blocking.singleImageOf(i));
+      tgtInfo.inRequirements.push_back(InRequirement{
+          entry.srcIdx,
+          pb::IntMap(tgt.space(), scop.statement(entry.srcIdx).space(),
+                     std::move(pairs))});
+      continue;
+    }
+
+    pb::IntMap y = targetBlockingMap(tgt.domain(), entry.map);
+    pb::IntMap tInv = entry.map.inverse(); // single-valued (T is injective)
+    pb::IntTupleSet tRange = entry.map.range();
+    const pb::Tuple lastSource = entry.map.domain().lexmax();
+
+    std::vector<pb::IntMap::Pair> pairs;
+    for (const pb::Tuple& rep : tgtInfo.blockReps.points()) {
+      std::optional<pb::Tuple> boundary = y.singleImageOf(rep);
+      PIPOLY_CHECK_MSG(boundary.has_value(),
+                       "target blocking map not total on block reps");
+      pb::Tuple required;
+      if (tRange.contains(*boundary)) {
+        std::optional<pb::Tuple> req = tInv.singleImageOf(*boundary);
+        PIPOLY_CHECK(req.has_value());
+        required = std::move(*req);
+      } else {
+        // The block maps past the last pipeline boundary. With the
+        // integrated Σ of eq. 3 such a block provably contains no reader
+        // of this source, but under coarsening or FirstMapOnly it may;
+        // require the whole pipelined source prefix (conservative, and a
+        // no-op when the block truly reads nothing).
+        required = lastSource;
+      }
+      // The required iteration is a blocking boundary of the source map,
+      // so mapping through Σ_src names the block that produces it (with a
+      // coarsened Σ it lands on the enclosing, later block — still safe).
+      std::optional<pb::Tuple> srcBlock =
+          srcInfo.blocking.singleImageOf(required);
+      PIPOLY_CHECK(srcBlock.has_value());
+      pairs.emplace_back(rep, std::move(*srcBlock));
+    }
+    tgtInfo.inRequirements.push_back(InRequirement{
+        entry.srcIdx,
+        pb::IntMap(tgt.space(), scop.statement(entry.srcIdx).space(),
+                   std::move(pairs))});
+  }
+
+  return info;
+}
+
+} // namespace pipoly::pipeline

@@ -1,0 +1,108 @@
+#pragma once
+
+// §4 / Algorithm 1 — the full pipeline detection pass. For a SCoP of
+// consecutive loop nests it computes, per statement S:
+//
+//   Σ_S      the integrated pipeline blocking map (eq. 3): iteration ->
+//            block representative. Each block is one atomic task.
+//   Q_S      the array of in-dependency maps (eq. 4): block representative
+//            of S -> last required block representative of a source
+//            statement, one map per pipeline map that targets S.
+//   Q_S^out  the out-dependency map: the identity on Range(Σ_S).
+//
+// plus the list of pairwise pipeline maps T_{S,T} the blocks derive from.
+
+#include "pipeline/blocking.hpp"
+#include "pipeline/pipeline_map.hpp"
+#include "scop/scop.hpp"
+
+#include <vector>
+
+namespace pipoly::pipeline {
+
+struct PipelineMapEntry {
+  std::size_t srcIdx;
+  std::size_t tgtIdx;
+  pb::IntMap map; // T_{S,T}: source space -> target space
+};
+
+/// One in-dependency family of a statement: which block of `srcStmtIdx`
+/// must have finished before a given block of this statement may run.
+struct InRequirement {
+  std::size_t srcStmtIdx;
+  /// { block rep of this statement -> required block rep(s) of the
+  /// source }. Partial: block reps with no requirement from this source
+  /// (e.g. the remainder block) are absent. Single-valued under the
+  /// paper's chain ordering (eq. 4); multi-valued (exact data-flow
+  /// edges) under relaxed same-nest ordering.
+  pb::IntMap map;
+};
+
+struct StatementPipelineInfo {
+  /// Σ_S: iteration -> block representative (total, single-valued).
+  pb::IntMap blocking;
+  /// Σ_S^-1: block representative -> member iterations (the expansion /
+  /// contraction relation used by the schedule tree).
+  pb::IntMap expansion;
+  /// Range(Σ_S): all block representatives, in execution order.
+  pb::IntTupleSet blockReps;
+  /// Q_S: one entry per pipeline map targeting this statement.
+  std::vector<InRequirement> inRequirements;
+  /// Q_S^out: identity on blockReps (what finishing a block publishes).
+  pb::IntMap outDependency;
+  /// Same-nest ordering. When `chainOrdering` is true (the paper's
+  /// semantics, Fig. 8 funcCount protocol), blocks of this statement run
+  /// strictly in order. Otherwise (the §7 combination with per-nest
+  /// parallelism) only the edges of `selfEdges` — the cross-block
+  /// self-dependences — are enforced, and independent blocks of the same
+  /// nest may run concurrently.
+  bool chainOrdering = true;
+  /// { block rep -> earlier block rep it must wait for }; may be
+  /// multi-valued. Only meaningful when chainOrdering is false.
+  pb::IntMap selfEdges;
+};
+
+struct PipelineInfo {
+  std::vector<PipelineMapEntry> maps;
+  std::vector<StatementPipelineInfo> statements; // indexed by statement
+
+  bool hasPipeline() const { return !maps.empty(); }
+  /// Total number of blocks (= tasks) across all statements.
+  std::size_t totalBlocks() const;
+};
+
+struct DetectOptions {
+  /// How the per-pair blocking maps are combined into Σ_S.
+  enum class Integration {
+    /// Eq. 3: lexmin of the union of all blocking maps (the paper's
+    /// optimal blocks, §4.2).
+    LexminUnion,
+    /// Ablation: keep only the blocking of the first pipeline map each
+    /// statement participates in (what a naive pairwise scheme would do).
+    FirstMapOnly,
+  };
+  Integration integration = Integration::LexminUnion;
+
+  /// Task-granularity knob (§7 future work): merge `coarsening`
+  /// consecutive blocks into one task. 1 = the paper's blocks.
+  std::size_t coarsening = 1;
+
+  /// §7 relaxation: accept sources whose write relations overwrite
+  /// locations (P then relates reads to every writer, so requirements
+  /// cover the last write).
+  bool allowNonInjectiveWrites = false;
+
+  /// §7 combination with per-nest parallelism: replace the unconditional
+  /// same-nest block chain by the exact cross-block self-dependence
+  /// edges, letting independent blocks of one nest run concurrently
+  /// (e.g. the fully parallel nmm nests, or nests whose dependences do
+  /// not cross block boundaries).
+  bool relaxSameNestOrdering = false;
+};
+
+/// Algorithm 1. Computes pipeline maps for every dependent statement pair,
+/// derives per-statement blocking, and attaches dependency relations.
+PipelineInfo detectPipeline(const scop::Scop& scop,
+                            const DetectOptions& options = {});
+
+} // namespace pipoly::pipeline

@@ -1,0 +1,51 @@
+#pragma once
+
+// §4.1 in symbolic form. The paper's pipeline map for Listing 1 keeps N
+// parametric; this module reproduces that: for the common shape of an
+// identity-write source and a single separable strided read
+//
+//   source S:  domain  lo^S_d <= i_d < hi^S_d (parametric rectangles),
+//              writes  A[i_0]...[i_{n-1}]
+//   target T:  domain  lo^T_d <= j_d < hi^T_d,
+//              reads   A[c_0 j_0 + o_0]...[c_{n-1} j_{n-1} + o_{n-1}],
+//              with c_d >= 1
+//
+// the pipeline map is the closed form
+//
+//   T_{S,T} = { S[i] -> T[j] : i_d = c_d j_d + o_d,
+//               j in dom(T), i in dom(S) }
+//
+// returned as a pb::ParamMap whose instantiation is bit-identical to the
+// explicit pipelineMap() (tests check this for many parameter values).
+
+#include "presburger/param.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipoly::pipeline {
+
+/// A parametric rectangular statement description.
+struct ParamRectStatement {
+  std::string name;
+  /// Per dimension: lo <= x_d < hi.
+  std::vector<std::pair<pb::ParamExpr, pb::ParamExpr>> bounds;
+
+  std::size_t depth() const { return bounds.size(); }
+  pb::ParamSet domain(const std::vector<std::string>& dimNames = {}) const;
+};
+
+/// A separable strided read: subscript_d = coeff_d * j_d + offset_d.
+struct SeparableRead {
+  std::vector<pb::Value> coeffs;  // all >= 1
+  std::vector<pb::Value> offsets; // >= 0
+};
+
+/// The closed-form symbolic pipeline map. Throws on malformed input
+/// (mismatched depths, non-positive coefficients).
+pb::ParamMap parametricPipelineMap(const ParamRectStatement& source,
+                                   const ParamRectStatement& target,
+                                   const SeparableRead& read);
+
+} // namespace pipoly::pipeline

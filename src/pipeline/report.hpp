@@ -1,0 +1,25 @@
+#pragma once
+
+// Human-readable diagnostics for the pipeline detection: per statement
+// pair, *why* a pipeline exists (or does not) — dependence distances,
+// block counts, pipeline-map strides, per-nest parallelism — plus a
+// per-statement blocking summary. Tooling support for users adopting the
+// library (surfaced by `pipolyc`).
+
+#include "pipeline/detect.hpp"
+#include "scop/scop.hpp"
+
+#include <string>
+
+namespace pipoly::pipeline {
+
+/// Renders a report like:
+///
+///   statement S: 361 iterations, serial (carried deps at dims 0, 1)
+///   statement R: 81 iterations, serial (carried deps at dims 0, 1)
+///   pipeline S -> R: 81 stage boundaries, source stride (0, 2),
+///     enables one R block per 2 S iterations
+///   blocking: S -> 82 blocks (median 4 its), R -> 81 blocks (median 1 its)
+std::string renderReport(const scop::Scop& scop, const PipelineInfo& info);
+
+} // namespace pipoly::pipeline

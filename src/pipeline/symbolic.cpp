@@ -1,0 +1,126 @@
+#include "pipeline/symbolic.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+
+namespace pipoly::pipeline {
+
+namespace {
+
+/// The write relation is the identity access A[i0][i1]...: rank equals
+/// depth, subscript d is exactly dimension d.
+bool isIdentityWrite(const scop::Statement& stmt, const scop::Access& w) {
+  if (w.numAuxDims() != 0 || w.subscripts.numOutputs() != stmt.depth())
+    return false;
+  for (std::size_t d = 0; d < stmt.depth(); ++d) {
+    const pb::AffineExpr& e = w.subscripts.output(d);
+    if (e.constantTerm() != 0)
+      return false;
+    for (std::size_t k = 0; k < e.numDims(); ++k)
+      if (e.coeff(k) != (k == d ? 1 : 0))
+        return false;
+  }
+  return true;
+}
+
+/// Aux coefficients must be non-negative so the aux-rectangle maximum sits
+/// at the upper corner.
+bool auxMonotone(const scop::Access& r, std::size_t depth) {
+  for (const pb::AffineExpr& e : r.subscripts.outputs())
+    for (std::size_t k = depth; k < e.numDims(); ++k)
+      if (e.coeff(k) < 0)
+        return false;
+  return true;
+}
+
+/// Evaluates a read access at iteration `j`, with aux dims pinned to the
+/// upper corner of their rectangle.
+pb::Tuple evalAtAuxCorner(const scop::Access& r, const pb::Tuple& j) {
+  std::vector<pb::Value> full(j.begin(), j.end());
+  for (pb::Value ext : r.auxExtents)
+    full.push_back(ext - 1);
+  return r.subscripts.evaluate(pb::Tuple(std::move(full)));
+}
+
+} // namespace
+
+bool symbolicPipelineApplies(const scop::Scop& scop, std::size_t srcIdx,
+                             std::size_t tgtIdx) {
+  const scop::Statement& src = scop.statement(srcIdx);
+  const scop::Statement& tgt = scop.statement(tgtIdx);
+  for (std::size_t arrayId : scop.arraysWrittenBy(srcIdx)) {
+    bool read = false;
+    for (const scop::Access& r : tgt.reads())
+      read = read || r.arrayId == arrayId;
+    if (!read)
+      continue;
+    for (const scop::Access& w : src.writes())
+      if (w.arrayId == arrayId && !isIdentityWrite(src, w))
+        return false;
+    for (const scop::Access& r : tgt.reads())
+      if (r.arrayId == arrayId && !auxMonotone(r, tgt.depth()))
+        return false;
+  }
+  return true;
+}
+
+std::optional<pb::IntMap> trySymbolicPipelineMap(const scop::Scop& scop,
+                                                 std::size_t srcIdx,
+                                                 std::size_t tgtIdx) {
+  if (!symbolicPipelineApplies(scop, srcIdx, tgtIdx))
+    return std::nullopt;
+  const scop::Statement& src = scop.statement(srcIdx);
+  const scop::Statement& tgt = scop.statement(tgtIdx);
+  const pb::IntTupleSet& srcDomain = src.domain();
+
+  // The reads that touch arrays written (identically) by the source.
+  std::vector<const scop::Access*> reads;
+  for (std::size_t arrayId : scop.arraysWrittenBy(srcIdx))
+    for (const scop::Access& r : tgt.reads())
+      if (r.arrayId == arrayId)
+        reads.push_back(&r);
+  if (reads.empty())
+    return pb::IntMap(src.space(), tgt.space());
+
+  // H as a running prefix-lexmax of the pointwise requirement. Identity
+  // writes mean the producing iteration *is* the subscript vector.
+  std::vector<pb::IntMap::Pair> hPairs; // (target j, last required i)
+  bool haveRunning = false;
+  pb::Tuple running;
+  for (const pb::Tuple& j : tgt.domain().points()) {
+    bool havePoint = false;
+    pb::Tuple point;
+    for (const scop::Access* r : reads) {
+      pb::Tuple candidate = evalAtAuxCorner(*r, j);
+      if (!srcDomain.contains(candidate)) {
+        if (r->numAuxDims() != 0)
+          return std::nullopt; // corner argument breaks down; fall back
+        continue;              // element never written: no producer
+      }
+      if (!havePoint || candidate > point) {
+        point = std::move(candidate);
+        havePoint = true;
+      }
+    }
+    if (!havePoint)
+      continue;
+    if (!haveRunning || point > running) {
+      running = std::move(point);
+      haveRunning = true;
+    }
+    hPairs.emplace_back(j, running);
+  }
+
+  // T = lexmax(H^-1): within each run of equal requirement, the last
+  // target wins; hPairs is ordered by j with non-decreasing requirement.
+  std::vector<pb::IntMap::Pair> tPairs;
+  for (std::size_t k = 0; k < hPairs.size(); ++k) {
+    if (k + 1 < hPairs.size() && hPairs[k + 1].second == hPairs[k].second)
+      continue;
+    tPairs.emplace_back(hPairs[k].second, hPairs[k].first);
+  }
+  return pb::IntMap(src.space(), tgt.space(), std::move(tPairs));
+}
+
+} // namespace pipoly::pipeline

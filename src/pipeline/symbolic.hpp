@@ -1,0 +1,35 @@
+#pragma once
+
+// A symbolic fast path for the pipeline map (§4.1). The explicit
+// computation builds the producer relation P = Wr^-1(Rd) point by point —
+// O(|target domain| x reads). For the very common shape
+//
+//   * the source writes A[i0][i1]... (the identity access), and
+//   * every target read of A is separable and monotone:
+//     A[c0*j0 + o0][c1*j1 + o1]... with c_d >= 1
+//
+// the map has a closed form: P is lexicographically monotone, so
+// H(j) = lexmax over reads of (c*j + o) and T = H^-1 directly — no
+// relation materialisation and no prefix maximisation needed.
+//
+// The result is bit-identical to pipelineMap() (tests cross-check); the
+// driver uses it automatically when it applies.
+
+#include "presburger/map.hpp"
+#include "scop/scop.hpp"
+
+#include <optional>
+
+namespace pipoly::pipeline {
+
+/// Attempts the symbolic computation; nullopt when the accesses do not
+/// have the required shape (the caller falls back to the explicit path).
+std::optional<pb::IntMap> trySymbolicPipelineMap(const scop::Scop& scop,
+                                                 std::size_t srcIdx,
+                                                 std::size_t tgtIdx);
+
+/// True when the source/target pair satisfies the fast-path conditions.
+bool symbolicPipelineApplies(const scop::Scop& scop, std::size_t srcIdx,
+                             std::size_t tgtIdx);
+
+} // namespace pipoly::pipeline

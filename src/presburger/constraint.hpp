@@ -1,0 +1,59 @@
+#pragma once
+
+// Affine constraints: `expr >= 0` (inequality) or `expr == 0` (equality).
+
+#include "presburger/affine.hpp"
+
+#include <string>
+
+namespace pipoly::pb {
+
+class Constraint {
+public:
+  enum class Kind { GE, EQ };
+
+  Constraint(AffineExpr expr, Kind kind)
+      : expr_(std::move(expr)), kind_(kind) {}
+
+  /// expr >= 0
+  static Constraint ge(AffineExpr expr) {
+    return Constraint(std::move(expr), Kind::GE);
+  }
+  /// expr == 0
+  static Constraint eq(AffineExpr expr) {
+    return Constraint(std::move(expr), Kind::EQ);
+  }
+  /// lhs >= rhs
+  static Constraint ge(const AffineExpr& lhs, const AffineExpr& rhs) {
+    return ge(lhs - rhs);
+  }
+  /// lhs <= rhs
+  static Constraint le(const AffineExpr& lhs, const AffineExpr& rhs) {
+    return ge(rhs - lhs);
+  }
+  /// lhs < rhs  (integer: lhs <= rhs - 1)
+  static Constraint lt(const AffineExpr& lhs, const AffineExpr& rhs) {
+    return ge(rhs - lhs - 1);
+  }
+
+  const AffineExpr& expr() const { return expr_; }
+  Kind kind() const { return kind_; }
+  bool isEquality() const { return kind_ == Kind::EQ; }
+
+  bool isSatisfied(const Tuple& point) const {
+    Value v = expr_.evaluate(point);
+    return kind_ == Kind::EQ ? v == 0 : v >= 0;
+  }
+
+  std::string toString(const std::vector<std::string>& dimNames = {}) const {
+    return expr_.toString(dimNames) + (isEquality() ? " = 0" : " >= 0");
+  }
+
+  friend bool operator==(const Constraint&, const Constraint&) = default;
+
+private:
+  AffineExpr expr_;
+  Kind kind_;
+};
+
+} // namespace pipoly::pb

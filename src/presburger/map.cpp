@@ -1,0 +1,299 @@
+#include "presburger/map.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace pipoly::pb {
+
+IntMap::IntMap(Space in, Space out, std::vector<Pair> pairs)
+    : in_(std::move(in)), out_(std::move(out)), pairs_(std::move(pairs)) {
+  for (const Pair& p : pairs_) {
+    PIPOLY_CHECK_MSG(p.first.size() == in_.arity(),
+                     "map pair domain arity mismatch in " + in_.name());
+    PIPOLY_CHECK_MSG(p.second.size() == out_.arity(),
+                     "map pair range arity mismatch in " + out_.name());
+  }
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+IntMap IntMap::identity(const IntTupleSet& set) {
+  std::vector<Pair> pairs;
+  pairs.reserve(set.size());
+  for (const Tuple& t : set.points())
+    pairs.emplace_back(t, t);
+  IntMap m(set.space(), set.space());
+  m.pairs_ = std::move(pairs); // already sorted and unique
+  return m;
+}
+
+IntMap IntMap::fromFunction(const IntTupleSet& domain, Space out,
+                            const std::function<Tuple(const Tuple&)>& f) {
+  std::vector<Pair> pairs;
+  pairs.reserve(domain.size());
+  for (const Tuple& t : domain.points())
+    pairs.emplace_back(t, f(t));
+  return IntMap(domain.space(), std::move(out), std::move(pairs));
+}
+
+IntMap IntMap::lexLeSet(const IntTupleSet& from, const IntTupleSet& bounds) {
+  PIPOLY_CHECK(from.space() == bounds.space());
+  std::vector<Pair> pairs;
+  for (const Tuple& i : from.points())
+    for (const Tuple& b : bounds.points())
+      if (i <= b)
+        pairs.emplace_back(i, b);
+  IntMap m(from.space(), from.space());
+  m.pairs_ = std::move(pairs);
+  std::sort(m.pairs_.begin(), m.pairs_.end());
+  return m;
+}
+
+IntMap IntMap::lexGeContains(const IntTupleSet& set) {
+  std::vector<Pair> pairs;
+  for (const Tuple& x : set.points())
+    for (const Tuple& y : set.points())
+      if (y <= x)
+        pairs.emplace_back(x, y);
+  IntMap m(set.space(), set.space());
+  m.pairs_ = std::move(pairs);
+  std::sort(m.pairs_.begin(), m.pairs_.end());
+  return m;
+}
+
+bool IntMap::contains(const Tuple& in, const Tuple& out) const {
+  return std::binary_search(pairs_.begin(), pairs_.end(), Pair(in, out));
+}
+
+IntMap IntMap::inverse() const {
+  IntMap m(out_, in_);
+  m.pairs_.reserve(pairs_.size());
+  for (const Pair& p : pairs_)
+    m.pairs_.emplace_back(p.second, p.first);
+  std::sort(m.pairs_.begin(), m.pairs_.end());
+  return m;
+}
+
+IntTupleSet IntMap::domain() const {
+  std::vector<Tuple> pts;
+  pts.reserve(pairs_.size());
+  for (const Pair& p : pairs_)
+    if (pts.empty() || pts.back() != p.first)
+      pts.push_back(p.first); // pairs_ sorted by first => pts sorted
+  return IntTupleSet(in_, std::move(pts));
+}
+
+IntTupleSet IntMap::range() const {
+  std::vector<Tuple> pts;
+  pts.reserve(pairs_.size());
+  for (const Pair& p : pairs_)
+    pts.push_back(p.second);
+  return IntTupleSet(out_, std::move(pts));
+}
+
+IntMap IntMap::compose(const IntMap& inner) const {
+  PIPOLY_CHECK_MSG(inner.out_ == in_,
+                   "composition space mismatch: inner range " +
+                       inner.out_.name() + " vs outer domain " + in_.name());
+  // Index this map by input tuple.
+  std::vector<Pair> result;
+  for (const Pair& ab : inner.pairs_) {
+    auto lo = std::lower_bound(
+        pairs_.begin(), pairs_.end(), ab.second,
+        [](const Pair& p, const Tuple& key) { return p.first < key; });
+    for (auto it = lo; it != pairs_.end() && it->first == ab.second; ++it)
+      result.emplace_back(ab.first, it->second);
+  }
+  return IntMap(inner.in_, out_, std::move(result));
+}
+
+IntTupleSet IntMap::apply(const IntTupleSet& set) const {
+  PIPOLY_CHECK(set.space() == in_);
+  std::vector<Tuple> out;
+  for (const Tuple& t : set.points())
+    for (const Tuple& img : imagesOf(t))
+      out.push_back(img);
+  return IntTupleSet(out_, std::move(out));
+}
+
+std::vector<Tuple> IntMap::imagesOf(const Tuple& in) const {
+  std::vector<Tuple> out;
+  auto lo = std::lower_bound(
+      pairs_.begin(), pairs_.end(), in,
+      [](const Pair& p, const Tuple& key) { return p.first < key; });
+  for (auto it = lo; it != pairs_.end() && it->first == in; ++it)
+    out.push_back(it->second);
+  return out;
+}
+
+std::optional<Tuple> IntMap::singleImageOf(const Tuple& in) const {
+  std::vector<Tuple> imgs = imagesOf(in);
+  if (imgs.empty())
+    return std::nullopt;
+  PIPOLY_CHECK_MSG(imgs.size() == 1, "map is not single-valued at " +
+                                         in.toString() + " in space " +
+                                         in_.name());
+  return imgs.front();
+}
+
+IntMap IntMap::lexmaxPerDomain() const {
+  IntMap m(in_, out_);
+  for (const Pair& p : pairs_) {
+    if (!m.pairs_.empty() && m.pairs_.back().first == p.first)
+      m.pairs_.back().second = std::max(m.pairs_.back().second, p.second);
+    else
+      m.pairs_.push_back(p);
+  }
+  return m;
+}
+
+IntMap IntMap::lexminPerDomain() const {
+  IntMap m(in_, out_);
+  for (const Pair& p : pairs_) {
+    // pairs_ is sorted by (in, out): the first pair of each input group
+    // already carries the lexicographically smallest output.
+    if (m.pairs_.empty() || m.pairs_.back().first != p.first)
+      m.pairs_.push_back(p);
+  }
+  return m;
+}
+
+IntMap IntMap::restrictDomain(const IntTupleSet& set) const {
+  PIPOLY_CHECK(set.space() == in_);
+  IntMap m(in_, out_);
+  std::copy_if(pairs_.begin(), pairs_.end(), std::back_inserter(m.pairs_),
+               [&](const Pair& p) { return set.contains(p.first); });
+  return m;
+}
+
+IntMap IntMap::restrictRange(const IntTupleSet& set) const {
+  PIPOLY_CHECK(set.space() == out_);
+  IntMap m(in_, out_);
+  std::copy_if(pairs_.begin(), pairs_.end(), std::back_inserter(m.pairs_),
+               [&](const Pair& p) { return set.contains(p.second); });
+  return m;
+}
+
+IntMap IntMap::unite(const IntMap& other) const {
+  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
+                   "union of maps across different spaces");
+  IntMap m(in_, out_);
+  std::set_union(pairs_.begin(), pairs_.end(), other.pairs_.begin(),
+                 other.pairs_.end(), std::back_inserter(m.pairs_));
+  return m;
+}
+
+IntMap IntMap::intersect(const IntMap& other) const {
+  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
+                   "intersection of maps across different spaces");
+  IntMap m(in_, out_);
+  std::set_intersection(pairs_.begin(), pairs_.end(), other.pairs_.begin(),
+                        other.pairs_.end(), std::back_inserter(m.pairs_));
+  return m;
+}
+
+IntMap IntMap::subtract(const IntMap& other) const {
+  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
+                   "difference of maps across different spaces");
+  IntMap m(in_, out_);
+  std::set_difference(pairs_.begin(), pairs_.end(), other.pairs_.begin(),
+                      other.pairs_.end(), std::back_inserter(m.pairs_));
+  return m;
+}
+
+bool IntMap::isSubsetOf(const IntMap& other) const {
+  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
+                   "subset test across different spaces");
+  return std::includes(other.pairs_.begin(), other.pairs_.end(),
+                       pairs_.begin(), pairs_.end());
+}
+
+bool IntMap::isInjective() const {
+  std::vector<Tuple> outs;
+  outs.reserve(pairs_.size());
+  for (const Pair& p : pairs_)
+    outs.push_back(p.second);
+  std::sort(outs.begin(), outs.end());
+  return std::adjacent_find(outs.begin(), outs.end()) == outs.end();
+}
+
+bool IntMap::isSingleValued() const {
+  for (std::size_t i = 1; i < pairs_.size(); ++i)
+    if (pairs_[i].first == pairs_[i - 1].first)
+      return false;
+  return true;
+}
+
+IntTupleSet IntMap::deltas() const {
+  PIPOLY_CHECK_MSG(in_.arity() == out_.arity(),
+                   "deltas need equal-arity domain and range");
+  std::vector<Tuple> diffs;
+  diffs.reserve(pairs_.size());
+  for (const auto& [in, out] : pairs_) {
+    std::vector<Value> d(in.size());
+    for (std::size_t k = 0; k < in.size(); ++k)
+      d[k] = out[k] - in[k];
+    diffs.emplace_back(std::move(d));
+  }
+  return IntTupleSet(Space("delta", in_.arity()), std::move(diffs));
+}
+
+IntMap IntMap::transitiveClosure() const {
+  PIPOLY_CHECK_MSG(in_ == out_,
+                   "transitive closure needs a relation on one space");
+  // DFS with memoisation; colours detect cycles.
+  enum class Color { White, Grey, Black };
+  std::map<Tuple, Color> color;
+  std::map<Tuple, std::vector<Tuple>> reach; // x -> all transitively reached
+
+  std::function<const std::vector<Tuple>&(const Tuple&)> visit =
+      [&](const Tuple& x) -> const std::vector<Tuple>& {
+    auto [it, fresh] = color.try_emplace(x, Color::White);
+    PIPOLY_CHECK_MSG(it->second != Color::Grey,
+                     "transitive closure of a cyclic relation");
+    if (it->second == Color::Black)
+      return reach[x];
+    it->second = Color::Grey;
+    std::vector<Tuple> acc;
+    for (const Tuple& y : imagesOf(x)) {
+      acc.push_back(y);
+      const std::vector<Tuple>& more = visit(y);
+      acc.insert(acc.end(), more.begin(), more.end());
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    color[x] = Color::Black;
+    return reach[x] = std::move(acc);
+  };
+
+  std::vector<Pair> result;
+  const IntTupleSet dom = domain();
+  for (const Tuple& x : dom.points())
+    for (const Tuple& y : visit(x))
+      result.emplace_back(x, y);
+  return IntMap(in_, out_, std::move(result));
+}
+
+std::string IntMap::toString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntMap& m) {
+  os << "{ ";
+  bool first = true;
+  for (const auto& [in, out] : m.pairs()) {
+    if (!first)
+      os << "; ";
+    os << m.domainSpace().name() << in << " -> " << m.rangeSpace().name()
+       << out;
+    first = false;
+  }
+  return os << " }";
+}
+
+} // namespace pipoly::pb

@@ -1,0 +1,111 @@
+#pragma once
+
+// IntMap: an explicit binary relation between two tuple spaces, mirroring
+// isl_map for instantiated (finite) problems. Implements every operation
+// the paper's Algorithm 1 uses: inverse, composition, domain/range,
+// per-domain lexmax/lexmin (the paper's lexmax(M)), lexleset, unions,
+// identity maps, and injectivity checks.
+
+#include "presburger/set.hpp"
+#include "presburger/space.hpp"
+#include "presburger/tuple.hpp"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pipoly::pb {
+
+class IntMap {
+public:
+  using Pair = std::pair<Tuple, Tuple>;
+
+  IntMap() = default;
+  IntMap(Space in, Space out) : in_(std::move(in)), out_(std::move(out)) {}
+  /// Takes arbitrary pairs; sorts and deduplicates them.
+  IntMap(Space in, Space out, std::vector<Pair> pairs);
+
+  /// { x -> x : x in set }
+  static IntMap identity(const IntTupleSet& set);
+
+  /// { x -> f(x) : x in domain }, where f maps into `out`.
+  static IntMap fromFunction(const IntTupleSet& domain, Space out,
+                             const std::function<Tuple(const Tuple&)>& f);
+
+  /// The paper's lexleset(I, B): { i -> b : i in I, b in B, i lexle b }.
+  /// Both sets must share a space.
+  static IntMap lexLeSet(const IntTupleSet& from, const IntTupleSet& bounds);
+
+  /// { x -> y : x, y in set, y lexle x } — the D' relation of §4.1 when
+  /// applied to Dom(P).
+  static IntMap lexGeContains(const IntTupleSet& set);
+
+  const Space& domainSpace() const { return in_; }
+  const Space& rangeSpace() const { return out_; }
+  std::size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<Pair>& pairs() const { return pairs_; }
+
+  bool contains(const Tuple& in, const Tuple& out) const;
+
+  IntMap inverse() const;
+  IntTupleSet domain() const;
+  IntTupleSet range() const;
+
+  /// Composition this(inner): { a -> c : exists b, (a,b) in inner and
+  /// (b,c) in this }. Matches the paper's M1(M2) notation.
+  IntMap compose(const IntMap& inner) const;
+
+  /// Image of a set under the map.
+  IntTupleSet apply(const IntTupleSet& set) const;
+
+  /// Images of a single point.
+  std::vector<Tuple> imagesOf(const Tuple& in) const;
+
+  /// The unique image of `in`; throws if the map is not single-valued at
+  /// that point, returns nullopt if `in` is outside the domain.
+  std::optional<Tuple> singleImageOf(const Tuple& in) const;
+
+  /// Per-domain-element lexicographic max/min of the images — the paper's
+  /// lexmax(M) / lexmin(M). The result is single-valued.
+  IntMap lexmaxPerDomain() const;
+  IntMap lexminPerDomain() const;
+
+  IntMap restrictDomain(const IntTupleSet& set) const;
+  IntMap restrictRange(const IntTupleSet& set) const;
+
+  IntMap unite(const IntMap& other) const;
+  IntMap intersect(const IntMap& other) const;
+  IntMap subtract(const IntMap& other) const;
+  bool isSubsetOf(const IntMap& other) const;
+
+  bool isInjective() const;    // no two inputs share an output
+  bool isSingleValued() const; // no input has two outputs
+
+  /// The set of differences out - in over all pairs; both sides must live
+  /// in spaces of equal arity. This is the classic dependence-distance
+  /// set: uniform dependences yield a singleton.
+  IntTupleSet deltas() const;
+
+  /// Transitive closure of a relation on a single space: x relates to y
+  /// in the result iff a non-empty path x -> ... -> y exists. The
+  /// relation must be acyclic (throws otherwise). Useful for
+  /// reachability questions on block/task dependence graphs.
+  IntMap transitiveClosure() const;
+
+  friend bool operator==(const IntMap& a, const IntMap& b) {
+    return a.in_ == b.in_ && a.out_ == b.out_ && a.pairs_ == b.pairs_;
+  }
+
+  std::string toString() const;
+
+private:
+  Space in_, out_;
+  std::vector<Pair> pairs_; // sorted by (in, out), unique
+};
+
+std::ostream& operator<<(std::ostream& os, const IntMap& m);
+
+} // namespace pipoly::pb

@@ -1,0 +1,113 @@
+#pragma once
+
+// A light parametric layer over the explicit core: sets and maps whose
+// constraints are affine in the tuple dimensions with *parameter-affine*
+// constant terms (e.g. `0 <= i <= N - 2`). This is the form the paper's
+// own formulas take (§4.1 keeps N symbolic); instantiating the parameters
+// lowers a ParamSet/ParamMap onto the exact explicit machinery.
+//
+// Division does not exist at this level: a bound like N/2 - 1 is modelled
+// by introducing a derived parameter (e.g. M bound to N/2 at
+// instantiation time), mirroring how the paper's own example fixes N=20.
+
+#include "presburger/map.hpp"
+#include "presburger/parser.hpp"
+#include "presburger/polyhedron.hpp"
+#include "presburger/set.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pipoly::pb {
+
+/// Affine expression over named parameters: sum of c_p * p plus a
+/// constant.
+class ParamExpr {
+public:
+  ParamExpr() = default;
+  /*implicit*/ ParamExpr(Value constant) : constant_(constant) {}
+
+  static ParamExpr param(std::string name, Value coeff = 1) {
+    ParamExpr e;
+    if (coeff != 0)
+      e.coeffs_[std::move(name)] = coeff;
+    return e;
+  }
+
+  Value evaluate(const ParamBindings& bindings) const;
+
+  bool isConstant() const { return coeffs_.empty(); }
+  Value constantTerm() const { return constant_; }
+
+  friend ParamExpr operator+(ParamExpr a, const ParamExpr& b);
+  friend ParamExpr operator-(ParamExpr a, const ParamExpr& b);
+  friend ParamExpr operator*(Value k, ParamExpr a);
+
+  std::string toString() const;
+
+  friend bool operator==(const ParamExpr&, const ParamExpr&) = default;
+
+private:
+  std::map<std::string, Value> coeffs_;
+  Value constant_ = 0;
+};
+
+/// sum(dimCoeffs_d * x_d) + paramPart  (>= 0 | == 0).
+struct ParamConstraint {
+  std::vector<Value> dimCoeffs;
+  ParamExpr paramPart;
+  Constraint::Kind kind = Constraint::Kind::GE;
+
+  Constraint instantiate(const ParamBindings& bindings) const;
+  std::string toString(const std::vector<std::string>& dimNames) const;
+};
+
+/// A parametric set over one tuple space.
+class ParamSet {
+public:
+  ParamSet(Space space, std::vector<std::string> dimNames = {})
+      : space_(std::move(space)), dimNames_(std::move(dimNames)) {}
+
+  const Space& space() const { return space_; }
+
+  ParamSet& add(ParamConstraint c);
+  /// lo <= dim_k < hi.
+  ParamSet& bound(std::size_t dim, const ParamExpr& lo, const ParamExpr& hi);
+
+  Polyhedron instantiate(const ParamBindings& bindings) const;
+  IntTupleSet points(const ParamBindings& bindings) const;
+
+  std::string toString() const;
+
+private:
+  Space space_;
+  std::vector<std::string> dimNames_;
+  std::vector<ParamConstraint> constraints_;
+};
+
+/// A parametric relation between two tuple spaces; constraints range over
+/// the concatenated (in, out) dimensions.
+class ParamMap {
+public:
+  ParamMap(Space in, Space out, std::vector<std::string> dimNames = {})
+      : in_(std::move(in)), out_(std::move(out)),
+        dimNames_(std::move(dimNames)) {}
+
+  const Space& domainSpace() const { return in_; }
+  const Space& rangeSpace() const { return out_; }
+  std::size_t numDims() const { return in_.arity() + out_.arity(); }
+
+  ParamMap& add(ParamConstraint c);
+
+  IntMap instantiate(const ParamBindings& bindings) const;
+
+  std::string toString() const;
+
+private:
+  Space in_, out_;
+  std::vector<std::string> dimNames_;
+  std::vector<ParamConstraint> constraints_;
+};
+
+} // namespace pipoly::pb

@@ -1,0 +1,143 @@
+#include "presburger/set.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace pipoly::pb {
+
+IntTupleSet::IntTupleSet(Space space, std::vector<Tuple> points)
+    : space_(std::move(space)), points_(std::move(points)) {
+  for (const Tuple& t : points_)
+    PIPOLY_CHECK_MSG(t.size() == space_.arity(),
+                     "tuple arity does not match space " + space_.name());
+  std::sort(points_.begin(), points_.end());
+  points_.erase(std::unique(points_.begin(), points_.end()), points_.end());
+}
+
+IntTupleSet IntTupleSet::fromPolyhedron(Space space, const Polyhedron& poly) {
+  PIPOLY_CHECK(space.arity() == poly.numDims());
+  // Polyhedron enumeration is already lexicographic and duplicate-free.
+  IntTupleSet s(std::move(space));
+  s.points_ = poly.enumerate();
+  return s;
+}
+
+IntTupleSet IntTupleSet::rectangle(Space space,
+                                   const std::vector<Value>& extents) {
+  PIPOLY_CHECK(space.arity() == extents.size());
+  Polyhedron p(extents.size());
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    AffineExpr x = AffineExpr::dim(extents.size(), i);
+    p.add(Constraint::ge(x));
+    p.add(Constraint::lt(x, AffineExpr::constant(extents.size(), extents[i])));
+  }
+  return fromPolyhedron(std::move(space), p);
+}
+
+bool IntTupleSet::contains(const Tuple& t) const {
+  return std::binary_search(points_.begin(), points_.end(), t);
+}
+
+void IntTupleSet::requireSameSpace(const IntTupleSet& other) const {
+  PIPOLY_CHECK_MSG(space_ == other.space_,
+                   "set operation across different spaces: " + space_.name() +
+                       " vs " + other.space_.name());
+}
+
+IntTupleSet IntTupleSet::unite(const IntTupleSet& other) const {
+  requireSameSpace(other);
+  IntTupleSet out(space_);
+  std::set_union(points_.begin(), points_.end(), other.points_.begin(),
+                 other.points_.end(), std::back_inserter(out.points_));
+  return out;
+}
+
+IntTupleSet IntTupleSet::intersect(const IntTupleSet& other) const {
+  requireSameSpace(other);
+  IntTupleSet out(space_);
+  std::set_intersection(points_.begin(), points_.end(), other.points_.begin(),
+                        other.points_.end(), std::back_inserter(out.points_));
+  return out;
+}
+
+IntTupleSet IntTupleSet::subtract(const IntTupleSet& other) const {
+  requireSameSpace(other);
+  IntTupleSet out(space_);
+  std::set_difference(points_.begin(), points_.end(), other.points_.begin(),
+                      other.points_.end(), std::back_inserter(out.points_));
+  return out;
+}
+
+IntTupleSet
+IntTupleSet::filter(const std::function<bool(const Tuple&)>& keep) const {
+  IntTupleSet out(space_);
+  std::copy_if(points_.begin(), points_.end(), std::back_inserter(out.points_),
+               keep);
+  return out;
+}
+
+bool IntTupleSet::isSubsetOf(const IntTupleSet& other) const {
+  requireSameSpace(other);
+  return std::includes(other.points_.begin(), other.points_.end(),
+                       points_.begin(), points_.end());
+}
+
+const Tuple& IntTupleSet::lexmin() const {
+  PIPOLY_CHECK_MSG(!points_.empty(), "lexmin of an empty set");
+  return points_.front();
+}
+
+const Tuple& IntTupleSet::lexmax() const {
+  PIPOLY_CHECK_MSG(!points_.empty(), "lexmax of an empty set");
+  return points_.back();
+}
+
+std::vector<DimBounds> IntTupleSet::rectangularHull() const {
+  PIPOLY_CHECK_MSG(!points_.empty(), "hull of an empty set");
+  std::vector<DimBounds> box(space_.arity());
+  for (std::size_t d = 0; d < space_.arity(); ++d)
+    box[d] = {points_.front()[d], points_.front()[d]};
+  for (const Tuple& t : points_) {
+    for (std::size_t d = 0; d < space_.arity(); ++d) {
+      box[d].lower = std::min(box[d].lower, t[d]);
+      box[d].upper = std::max(box[d].upper, t[d]);
+    }
+  }
+  return box;
+}
+
+Value IntTupleSet::strideOfDim(std::size_t dim) const {
+  PIPOLY_CHECK(dim < space_.arity());
+  PIPOLY_CHECK_MSG(!points_.empty(), "stride of an empty set");
+  Value base = points_.front()[dim];
+  Value lo = base;
+  for (const Tuple& t : points_)
+    lo = std::min(lo, t[dim]);
+  Value g = 0;
+  for (const Tuple& t : points_)
+    g = std::gcd(g, t[dim] - lo);
+  return g;
+}
+
+std::string IntTupleSet::toString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntTupleSet& s) {
+  os << "{ ";
+  bool first = true;
+  for (const Tuple& t : s.points()) {
+    if (!first)
+      os << "; ";
+    os << s.space().name() << t;
+    first = false;
+  }
+  return os << " }";
+}
+
+} // namespace pipoly::pb

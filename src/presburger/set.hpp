@@ -1,0 +1,73 @@
+#pragma once
+
+// IntTupleSet: an explicit, lexicographically sorted set of integer tuples
+// in a named space. This is the instantiated counterpart of an isl_set:
+// once the parameters of a SCoP are fixed, every set the paper manipulates
+// is finite and is represented here exactly.
+
+#include "presburger/polyhedron.hpp"
+#include "presburger/space.hpp"
+#include "presburger/tuple.hpp"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pipoly::pb {
+
+class IntTupleSet {
+public:
+  IntTupleSet() = default;
+  explicit IntTupleSet(Space space) : space_(std::move(space)) {}
+  /// Takes arbitrary points; sorts and deduplicates them.
+  IntTupleSet(Space space, std::vector<Tuple> points);
+
+  /// All integer points of `poly`, living in `space`.
+  static IntTupleSet fromPolyhedron(Space space, const Polyhedron& poly);
+
+  /// The rectangular set [0,ext0) x [0,ext1) x ...
+  static IntTupleSet rectangle(Space space, const std::vector<Value>& extents);
+
+  const Space& space() const { return space_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<Tuple>& points() const { return points_; }
+
+  bool contains(const Tuple& t) const;
+
+  IntTupleSet unite(const IntTupleSet& other) const;
+  IntTupleSet intersect(const IntTupleSet& other) const;
+  IntTupleSet subtract(const IntTupleSet& other) const;
+  IntTupleSet filter(const std::function<bool(const Tuple&)>& keep) const;
+
+  bool isSubsetOf(const IntTupleSet& other) const;
+
+  /// Lexicographic extrema; the set must be non-empty.
+  const Tuple& lexmin() const;
+  const Tuple& lexmax() const;
+
+  /// Per-dimension bounds of the smallest enclosing box; the set must be
+  /// non-empty.
+  std::vector<DimBounds> rectangularHull() const;
+
+  /// The common stride of dimension `dim`: the gcd of all offsets of
+  /// that coordinate from its minimum (e.g. {0, 2, 4, 8} -> 2). Returns
+  /// 1 for dense or irregular dims and 0 when the coordinate is constant.
+  Value strideOfDim(std::size_t dim) const;
+
+  friend bool operator==(const IntTupleSet& a, const IntTupleSet& b) {
+    return a.space_ == b.space_ && a.points_ == b.points_;
+  }
+
+  std::string toString() const;
+
+private:
+  void requireSameSpace(const IntTupleSet& other) const;
+
+  Space space_;
+  std::vector<Tuple> points_; // sorted lexicographically, unique
+};
+
+std::ostream& operator<<(std::ostream& os, const IntTupleSet& s);
+
+} // namespace pipoly::pb

@@ -1,0 +1,35 @@
+#pragma once
+
+// A (name, arity) pair identifying the tuple space of a set or of one side
+// of a map, mirroring isl's named spaces ("S[i,j]", "A[a0,a1]", ...).
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pipoly::pb {
+
+class Space {
+public:
+  Space() : name_("?"), arity_(0) {}
+  Space(std::string name, std::size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t arity() const { return arity_; }
+
+  friend bool operator==(const Space& a, const Space& b) {
+    return a.arity_ == b.arity_ && a.name_ == b.name_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Space& s) {
+    return os << s.name_ << '/' << s.arity_;
+  }
+
+private:
+  std::string name_;
+  std::size_t arity_;
+};
+
+} // namespace pipoly::pb

@@ -1,0 +1,23 @@
+#include "presburger/tuple.hpp"
+
+#include <sstream>
+
+namespace pipoly::pb {
+
+std::string Tuple::toString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  os << '[';
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i)
+      os << ", ";
+    os << t[i];
+  }
+  return os << ']';
+}
+
+} // namespace pipoly::pb

@@ -1,0 +1,81 @@
+#pragma once
+
+// Integer tuples: the points of the explicit integer sets and maps.
+// Tuples compare lexicographically, which is the order every algorithm in
+// the paper (lexmin / lexmax / lexleset) is defined over.
+
+#include "support/assert.hpp"
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pipoly::pb {
+
+using Value = std::int64_t;
+
+/// A point in Z^n. Comparison is lexicographic.
+class Tuple {
+public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  /// The zero tuple of a given arity.
+  static Tuple zeros(std::size_t arity) {
+    return Tuple(std::vector<Value>(arity, 0));
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  Value operator[](std::size_t i) const {
+    PIPOLY_ASSERT(i < values_.size());
+    return values_[i];
+  }
+  Value& operator[](std::size_t i) {
+    PIPOLY_ASSERT(i < values_.size());
+    return values_[i];
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  friend auto operator<=>(const Tuple& a, const Tuple& b) {
+    return std::lexicographical_compare_three_way(
+        a.values_.begin(), a.values_.end(), b.values_.begin(),
+        b.values_.end());
+  }
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+
+  /// Concatenation, used to couple map pairs into single points.
+  friend Tuple concat(const Tuple& a, const Tuple& b) {
+    std::vector<Value> v;
+    v.reserve(a.size() + b.size());
+    v.insert(v.end(), a.values_.begin(), a.values_.end());
+    v.insert(v.end(), b.values_.begin(), b.values_.end());
+    return Tuple(std::move(v));
+  }
+
+  /// Sub-tuple [begin, end).
+  Tuple slice(std::size_t begin, std::size_t end) const {
+    PIPOLY_ASSERT(begin <= end && end <= values_.size());
+    return Tuple(std::vector<Value>(values_.begin() + static_cast<long>(begin),
+                                    values_.begin() + static_cast<long>(end)));
+  }
+
+  std::string toString() const;
+
+private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+} // namespace pipoly::pb

@@ -1,0 +1,108 @@
+#include "runtime/thread_pool.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pipoly::rt {
+
+DependencyThreadPool::DependencyThreadPool(unsigned numThreads) {
+  numThreads = std::max(1u, numThreads);
+  workers_.reserve(numThreads);
+  for (unsigned i = 0; i < numThreads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+DependencyThreadPool::~DependencyThreadPool() {
+  waitAll();
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  readyCv_.notify_all();
+  // jthread joins on destruction.
+}
+
+DependencyThreadPool::TaskId
+DependencyThreadPool::submit(std::function<void()> fn,
+                             std::span<const TaskId> deps) {
+  std::unique_lock lock(mutex_);
+  const TaskId id = nodes_.size();
+  auto node = std::make_unique<Node>();
+  node->fn = std::move(fn);
+  for (TaskId dep : deps) {
+    PIPOLY_CHECK_MSG(dep < id, "dependency on a not-yet-submitted task");
+    if (!nodes_[dep]->done) {
+      nodes_[dep]->dependents.push_back(id);
+      ++node->remaining;
+    }
+  }
+  const bool ready = node->remaining == 0;
+  nodes_.push_back(std::move(node));
+  ++pending_;
+  if (ready) {
+    readyQueue_.push_back(id);
+    lock.unlock();
+    readyCv_.notify_one();
+  }
+  return id;
+}
+
+void DependencyThreadPool::workerLoop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    readyCv_.wait(lock, [this] { return shutdown_ || !readyQueue_.empty(); });
+    if (shutdown_ && readyQueue_.empty())
+      return;
+    const TaskId id = readyQueue_.front();
+    readyQueue_.pop_front();
+    // Run the body without holding the lock. A throwing body must not
+    // wedge the pool: record the first error and keep draining.
+    std::function<void()> fn = std::move(nodes_[id]->fn);
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !firstError_)
+      firstError_ = error;
+    finish(id);
+  }
+}
+
+void DependencyThreadPool::finish(TaskId id) {
+  // Called with mutex_ held.
+  Node& node = *nodes_[id];
+  node.done = true;
+  bool anyReady = false;
+  for (TaskId dep : node.dependents) {
+    Node& d = *nodes_[dep];
+    PIPOLY_ASSERT(d.remaining > 0);
+    if (--d.remaining == 0) {
+      readyQueue_.push_back(dep);
+      anyReady = true;
+    }
+  }
+  node.dependents.clear();
+  --pending_;
+  if (anyReady)
+    readyCv_.notify_all();
+  if (pending_ == 0)
+    idleCv_.notify_all();
+}
+
+void DependencyThreadPool::waitAll() {
+  std::unique_lock lock(mutex_);
+  idleCv_.wait(lock, [this] { return pending_ == 0; });
+  if (firstError_) {
+    std::exception_ptr error = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+} // namespace pipoly::rt

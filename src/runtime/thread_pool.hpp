@@ -1,0 +1,65 @@
+#pragma once
+
+// A dependency-tracking thread pool: tasks are submitted with explicit
+// predecessor task ids and become runnable once all predecessors have
+// finished. This is the substrate of the thread-pool tasking backend —
+// the "other tasking platform" the paper's §7 anticipates plugging in
+// beneath its language-agnostic CreateTask layer.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace pipoly::rt {
+
+class DependencyThreadPool {
+public:
+  using TaskId = std::size_t;
+
+  /// Spawns `numThreads` workers (at least 1).
+  explicit DependencyThreadPool(unsigned numThreads);
+  ~DependencyThreadPool();
+
+  DependencyThreadPool(const DependencyThreadPool&) = delete;
+  DependencyThreadPool& operator=(const DependencyThreadPool&) = delete;
+
+  /// Submits a task that may start only after all `deps` have finished.
+  /// Dependencies must be ids returned by earlier submit() calls.
+  /// Thread-safe with respect to workers, but submissions must come from
+  /// a single thread.
+  TaskId submit(std::function<void()> fn, std::span<const TaskId> deps);
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception thrown by a task body, if any.
+  void waitAll();
+
+  unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
+
+private:
+  struct Node {
+    std::function<void()> fn;
+    std::size_t remaining = 0;
+    bool done = false;
+    std::vector<TaskId> dependents;
+  };
+
+  void workerLoop();
+  void finish(TaskId id);
+
+  std::mutex mutex_;
+  std::condition_variable readyCv_;
+  std::condition_variable idleCv_;
+  std::deque<std::unique_ptr<Node>> nodes_;
+  std::deque<TaskId> readyQueue_;
+  std::size_t pending_ = 0; // submitted but not finished
+  std::exception_ptr firstError_;
+  bool shutdown_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+} // namespace pipoly::rt

@@ -1,0 +1,132 @@
+#include "schedule/build.hpp"
+
+#include "support/assert.hpp"
+
+namespace pipoly::sched {
+
+std::unique_ptr<ScheduleNode>
+buildStatementSchedule(const scop::Scop& scop,
+                       const pipeline::PipelineInfo& info,
+                       std::size_t stmtIdx) {
+  const pipeline::StatementPipelineInfo& st = info.statements.at(stmtIdx);
+  const pb::IntTupleSet rangeSigma = st.blockReps;          // R_Σ
+  const pb::IntTupleSet domainSigma = st.blocking.domain(); // D_Σ
+  PIPOLY_CHECK_MSG(domainSigma == scop.statement(stmtIdx).domain(),
+                   "pipeline info does not match the SCoP");
+
+  // sch1: domain(R_Σ) -> band(identity(R_Σ)) — the loops over blocks.
+  auto root = ScheduleNode::domain(rangeSigma);
+  ScheduleNode* cursor =
+      &root->addChild(ScheduleNode::band(pb::IntMap::identity(rangeSigma)));
+
+  // expand(sch1, sch2, Σ): the expansion node splices sch2 (the intra-block
+  // schedule) under sch1 with Σ as the contraction.
+  cursor = &cursor->addChild(ScheduleNode::expansion(st.blocking));
+
+  // sch2: mark(Q_S, Q_S^out) -> band(identity(D_Σ)). The mark sits before
+  // the intra-block band so the AST phase can locate the pipeline loop.
+  PipelineMark mark{stmtIdx, st.inRequirements, st.outDependency,
+                    st.chainOrdering, st.selfEdges};
+  cursor = &cursor->addChild(
+      ScheduleNode::mark(std::string(kPipelineMarkId), std::move(mark)));
+  cursor = &cursor->addChild(
+      ScheduleNode::band(pb::IntMap::identity(domainSigma)));
+  cursor->addChild(ScheduleNode::leaf());
+  return root;
+}
+
+std::unique_ptr<ScheduleNode>
+buildPipelineSchedule(const scop::Scop& scop,
+                      const pipeline::PipelineInfo& info) {
+  PIPOLY_CHECK(info.statements.size() == scop.numStatements());
+  auto seq = ScheduleNode::sequence();
+  for (std::size_t s = 0; s < scop.numStatements(); ++s)
+    seq->addChild(buildStatementSchedule(scop, info, s));
+  return seq;
+}
+
+std::unique_ptr<ScheduleNode> buildOriginalSchedule(const scop::Scop& scop) {
+  auto seq = ScheduleNode::sequence();
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    const pb::IntTupleSet& domain = scop.statement(s).domain();
+    ScheduleNode& d = seq->addChild(ScheduleNode::domain(domain));
+    ScheduleNode& band =
+        d.addChild(ScheduleNode::band(pb::IntMap::identity(domain)));
+    band.addChild(ScheduleNode::leaf());
+  }
+  return seq;
+}
+
+namespace {
+
+void validateStatementSubtree(const ScheduleNode& node, const scop::Scop& scop,
+                              std::size_t stmtIdx) {
+  PIPOLY_CHECK_MSG(node.kind() == NodeKind::Domain,
+                   "statement subtree must start with a domain node");
+  const pb::IntTupleSet& blockReps = node.domainSet();
+
+  const ScheduleNode& blockBand = node.child(0);
+  PIPOLY_CHECK(blockBand.kind() == NodeKind::Band);
+  PIPOLY_CHECK_MSG(blockBand.partialSchedule().domain() == blockReps,
+                   "block band must schedule exactly the block reps");
+
+  const ScheduleNode& expansion = blockBand.child(0);
+  PIPOLY_CHECK(expansion.kind() == NodeKind::Expansion);
+  const pb::IntMap& contraction = expansion.contraction();
+  PIPOLY_CHECK_MSG(contraction.range() == blockReps,
+                   "contraction must map onto the block reps");
+  PIPOLY_CHECK_MSG(contraction.domain() == scop.statement(stmtIdx).domain(),
+                   "contraction must cover the statement domain");
+
+  const ScheduleNode& mark = expansion.child(0);
+  PIPOLY_CHECK(mark.kind() == NodeKind::Mark);
+  PIPOLY_CHECK(mark.markId() == kPipelineMarkId);
+  PIPOLY_CHECK(mark.markInfo().stmtIdx == stmtIdx);
+
+  const ScheduleNode& innerBand = mark.child(0);
+  PIPOLY_CHECK(innerBand.kind() == NodeKind::Band);
+  PIPOLY_CHECK_MSG(innerBand.partialSchedule().domain() ==
+                       scop.statement(stmtIdx).domain(),
+                   "inner band must schedule the full iteration domain");
+
+  PIPOLY_CHECK(innerBand.child(0).kind() == NodeKind::Leaf);
+}
+
+} // namespace
+
+void validatePipelineSchedule(const ScheduleNode& root,
+                              const scop::Scop& scop) {
+  PIPOLY_CHECK_MSG(root.kind() == NodeKind::Sequence,
+                   "pipelined schedule must be rooted at a sequence node");
+  PIPOLY_CHECK_MSG(root.numChildren() == scop.numStatements(),
+                   "sequence must have one child per statement");
+  for (std::size_t s = 0; s < root.numChildren(); ++s)
+    validateStatementSubtree(root.child(s), scop, s);
+}
+
+std::vector<std::pair<std::size_t, pb::Tuple>>
+flattenExecutionOrder(const ScheduleNode& root) {
+  PIPOLY_CHECK(root.kind() == NodeKind::Sequence);
+  std::vector<std::pair<std::size_t, pb::Tuple>> order;
+  for (std::size_t s = 0; s < root.numChildren(); ++s) {
+    const ScheduleNode& domainNode = root.child(s);
+    PIPOLY_CHECK(domainNode.kind() == NodeKind::Domain);
+    const ScheduleNode& blockBand = domainNode.child(0);
+    const ScheduleNode& expansion = blockBand.child(0);
+    const ScheduleNode& mark = expansion.child(0);
+    const std::size_t stmtIdx = mark.markInfo().stmtIdx;
+
+    // The outer band schedules block reps with an identity partial
+    // schedule: walk its domain in lexicographic (= schedule) order and
+    // expand each block through the contraction's inverse, again in the
+    // inner band's lexicographic order.
+    const pb::IntMap expand = expansion.contraction().inverse();
+    const pb::IntTupleSet blockOrder = blockBand.partialSchedule().domain();
+    for (const pb::Tuple& rep : blockOrder.points())
+      for (const pb::Tuple& it : expand.imagesOf(rep))
+        order.emplace_back(stmtIdx, it);
+  }
+  return order;
+}
+
+} // namespace pipoly::sched

@@ -1,0 +1,57 @@
+#pragma once
+
+// Algorithm 2 — schedule-tree computation. For every statement S:
+//
+//   D_Σ  = Domain(Σ_S)   (all iterations)
+//   R_Σ  = Range(Σ_S)    (block representatives)
+//
+//   sch1 = domain(R_Σ) ∘ band(identity(R_Σ))        — iterate over blocks
+//   sch2 = domain(D_Σ) ∘ mark(Q_S, Q_S^out)
+//                      ∘ band(identity(D_Σ))        — iterate inside blocks
+//   sch_S = expand(sch1, sch2, contraction = Σ_S)
+//
+// and the final schedule is sequence(sch_S for all S in the SCoP).
+
+#include "pipeline/detect.hpp"
+#include "schedule/tree.hpp"
+#include "scop/scop.hpp"
+
+#include <memory>
+
+namespace pipoly::sched {
+
+/// Builds the expanded schedule tree of one statement (Algorithm 2 body).
+std::unique_ptr<ScheduleNode>
+buildStatementSchedule(const scop::Scop& scop,
+                       const pipeline::PipelineInfo& info,
+                       std::size_t stmtIdx);
+
+/// Algorithm 2: the full pipelined schedule — a sequence over all
+/// statements' expanded trees.
+std::unique_ptr<ScheduleNode>
+buildPipelineSchedule(const scop::Scop& scop,
+                      const pipeline::PipelineInfo& info);
+
+/// The original (untransformed) schedule the SCoP comes with: a sequence
+/// of per-statement domain+band subtrees iterating each nest in source
+/// order — what Polly's input schedule looks like before the pipeline
+/// transformation. Useful as the before-side of before/after displays.
+std::unique_ptr<ScheduleNode> buildOriginalSchedule(const scop::Scop& scop);
+
+/// Structural validation of a pipelined schedule tree: per statement
+/// subtree, checks the domain/band/expansion/mark/band/leaf chain and that
+/// the contraction is consistent with the band domains. Throws on
+/// violation.
+void validatePipelineSchedule(const ScheduleNode& root,
+                              const scop::Scop& scop);
+
+/// Interprets a pipelined schedule tree: the sequence of dynamic
+/// statement instances it prescribes when executed serially (sequence
+/// children in order; per statement, blocks in the outer band's
+/// lexicographic order and block members in the inner band's order).
+/// Independent of codegen; tests use it to check that Algorithm 2
+/// preserves each statement's original iteration order.
+std::vector<std::pair<std::size_t, pb::Tuple>>
+flattenExecutionOrder(const ScheduleNode& root);
+
+} // namespace pipoly::sched

@@ -1,0 +1,120 @@
+#include "scop/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace pipoly::scop {
+
+pb::AffineExpr StatementBuilder::dim(std::size_t k) const {
+  PIPOLY_CHECK(k < depth_);
+  return pb::AffineExpr::dim(depth_, k);
+}
+
+pb::AffineExpr StatementBuilder::constant(pb::Value v) const {
+  return pb::AffineExpr::constant(depth_, v);
+}
+
+pb::AffineExpr StatementBuilder::rangeDim(std::size_t k,
+                                          std::size_t numAux) const {
+  PIPOLY_CHECK(k < depth_);
+  return pb::AffineExpr::dim(depth_ + numAux, k);
+}
+
+pb::AffineExpr StatementBuilder::rangeAux(std::size_t k,
+                                          std::size_t numAux) const {
+  PIPOLY_CHECK(k < numAux);
+  return pb::AffineExpr::dim(depth_ + numAux, depth_ + k);
+}
+
+StatementBuilder& StatementBuilder::bound(std::size_t k, pb::Value lo,
+                                          pb::Value hi) {
+  return bound(k, constant(lo), constant(hi));
+}
+
+StatementBuilder& StatementBuilder::bound(std::size_t k,
+                                          const pb::AffineExpr& lo,
+                                          const pb::AffineExpr& hi) {
+  PIPOLY_CHECK(k < depth_);
+  // Bounds may only reference outer dimensions.
+  for (std::size_t d = k; d < depth_; ++d) {
+    PIPOLY_CHECK_MSG(lo.coeff(d) == 0 && hi.coeff(d) == 0,
+                     "loop bound references a non-outer dimension");
+  }
+  auto& domain = parent_->pending_[index_].domain;
+  domain.add(pb::Constraint::le(lo, dim(k)));
+  domain.add(pb::Constraint::lt(dim(k), hi));
+  return *this;
+}
+
+StatementBuilder& StatementBuilder::constraint(pb::Constraint c) {
+  parent_->pending_[index_].domain.add(std::move(c));
+  return *this;
+}
+
+StatementBuilder& StatementBuilder::write(std::size_t arrayId,
+                                          std::vector<pb::AffineExpr> subs) {
+  return writeRange(arrayId, std::move(subs), {});
+}
+
+StatementBuilder& StatementBuilder::read(std::size_t arrayId,
+                                         std::vector<pb::AffineExpr> subs) {
+  return readRange(arrayId, std::move(subs), {});
+}
+
+namespace {
+Access makeAccess(std::size_t arrayId, std::size_t numInputs,
+                  std::vector<pb::AffineExpr> subs,
+                  std::vector<pb::Value> auxExtents) {
+  for (const pb::AffineExpr& e : subs)
+    PIPOLY_CHECK_MSG(e.numDims() == numInputs,
+                     "subscript expression arity mismatch");
+  return Access{arrayId, pb::AffineMap(numInputs, std::move(subs)),
+                std::move(auxExtents)};
+}
+} // namespace
+
+StatementBuilder&
+StatementBuilder::readRange(std::size_t arrayId,
+                            std::vector<pb::AffineExpr> subs,
+                            std::vector<pb::Value> auxExtents) {
+  const std::size_t numInputs = depth_ + auxExtents.size();
+  parent_->pending_[index_].reads.push_back(
+      makeAccess(arrayId, numInputs, std::move(subs), std::move(auxExtents)));
+  return *this;
+}
+
+StatementBuilder&
+StatementBuilder::writeRange(std::size_t arrayId,
+                             std::vector<pb::AffineExpr> subs,
+                             std::vector<pb::Value> auxExtents) {
+  const std::size_t numInputs = depth_ + auxExtents.size();
+  parent_->pending_[index_].writes.push_back(
+      makeAccess(arrayId, numInputs, std::move(subs), std::move(auxExtents)));
+  return *this;
+}
+
+std::size_t ScopBuilder::array(std::string name, std::vector<pb::Value> shape) {
+  arrays_.push_back(Array{std::move(name), std::move(shape)});
+  return arrays_.size() - 1;
+}
+
+StatementBuilder ScopBuilder::statement(std::string name, std::size_t depth) {
+  pending_.push_back(PendingStatement{std::move(name), depth,
+                                      pb::Polyhedron(depth), {}, {}});
+  return StatementBuilder(*this, pending_.size() - 1, depth);
+}
+
+Scop ScopBuilder::build() const {
+  std::vector<Statement> statements;
+  statements.reserve(pending_.size());
+  for (const PendingStatement& p : pending_) {
+    pb::IntTupleSet domain = pb::IntTupleSet::fromPolyhedron(
+        pb::Space(p.name, p.depth), p.domain);
+    PIPOLY_CHECK_MSG(!domain.empty(),
+                     "statement " + p.name + " has an empty domain");
+    statements.emplace_back(p.name, p.depth, p.domain, std::move(domain),
+                            p.writes, p.reads);
+  }
+  return Scop(name_, arrays_, std::move(statements));
+}
+
+} // namespace pipoly::scop

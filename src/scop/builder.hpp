@@ -1,0 +1,109 @@
+#pragma once
+
+// A small fluent DSL for assembling SCoPs programmatically — the stand-in
+// for Polly's SCoP detection on LLVM-IR. The benchmark kernels and tests
+// describe their loop nests through this builder.
+//
+//   ScopBuilder b("listing1");
+//   auto A = b.array("A", {N, N});
+//   auto B = b.array("B", {N, N});
+//   {
+//     auto S = b.statement("S", 2);
+//     S.bound(0, 0, N - 1);          // for (i = 0; i < N-1; ++i)
+//     S.bound(1, 0, N - 1);          // for (j = 0; j < N-1; ++j)
+//     S.write(A, {S.dim(0), S.dim(1)});
+//     S.read(A, {S.dim(0), S.dim(1) + 1});
+//   }
+//   Scop scop = b.build();
+//
+// Bounds may be affine in outer dimensions (triangular nests) and are
+// half-open: bound(k, lo, hi) means lo <= dim_k < hi.
+
+#include "scop/scop.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pipoly::scop {
+
+class ScopBuilder;
+
+/// Handle for one statement under construction.
+class StatementBuilder {
+public:
+  /// The affine expression for iteration dimension `k` (over this
+  /// statement's depth).
+  pb::AffineExpr dim(std::size_t k) const;
+  /// A constant expression over this statement's dimensions.
+  pb::AffineExpr constant(pb::Value v) const;
+
+  /// lo <= dim_k < hi, with constant bounds.
+  StatementBuilder& bound(std::size_t k, pb::Value lo, pb::Value hi);
+  /// Affine bounds (may reference outer dims only).
+  StatementBuilder& bound(std::size_t k, const pb::AffineExpr& lo,
+                          const pb::AffineExpr& hi);
+  /// Extra constraint on the domain.
+  StatementBuilder& constraint(pb::Constraint c);
+
+  StatementBuilder& write(std::size_t arrayId,
+                          std::vector<pb::AffineExpr> subscripts);
+  StatementBuilder& read(std::size_t arrayId,
+                         std::vector<pb::AffineExpr> subscripts);
+
+  /// A read that touches a whole slab: `subscripts` is affine over
+  /// depth + auxExtents.size() input dims; the trailing inputs are
+  /// auxiliary dims ranging over [0, auxExtents[k]). Example — reading all
+  /// of row i of NxN array A: readRange(A, {dim, aux0}, {N}).
+  StatementBuilder& readRange(std::size_t arrayId,
+                              std::vector<pb::AffineExpr> subscripts,
+                              std::vector<pb::Value> auxExtents);
+  StatementBuilder& writeRange(std::size_t arrayId,
+                               std::vector<pb::AffineExpr> subscripts,
+                               std::vector<pb::Value> auxExtents);
+
+  /// Expression helpers for readRange/writeRange subscripts, which are
+  /// affine over depth + numAux dims.
+  pb::AffineExpr rangeDim(std::size_t k, std::size_t numAux) const;
+  pb::AffineExpr rangeAux(std::size_t k, std::size_t numAux) const;
+
+private:
+  friend class ScopBuilder;
+  StatementBuilder(ScopBuilder& parent, std::size_t index, std::size_t depth)
+      : parent_(&parent), index_(index), depth_(depth) {}
+
+  ScopBuilder* parent_;
+  std::size_t index_;
+  std::size_t depth_;
+};
+
+class ScopBuilder {
+public:
+  explicit ScopBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Declares an array; returns its id.
+  std::size_t array(std::string name, std::vector<pb::Value> shape);
+
+  /// Starts a new statement (the body of the next consecutive loop nest).
+  StatementBuilder statement(std::string name, std::size_t depth);
+
+  /// Instantiates all domains and produces the immutable Scop.
+  Scop build() const;
+
+private:
+  friend class StatementBuilder;
+
+  struct PendingStatement {
+    std::string name;
+    std::size_t depth;
+    pb::Polyhedron domain;
+    std::vector<Access> writes;
+    std::vector<Access> reads;
+  };
+
+  std::string name_;
+  std::vector<Array> arrays_;
+  std::vector<PendingStatement> pending_;
+};
+
+} // namespace pipoly::scop

@@ -1,0 +1,103 @@
+#include "scop/scop.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pipoly::scop {
+
+pb::IntMap Scop::accessRelation(std::size_t stmtIdx,
+                                const Access& access) const {
+  const Statement& stmt = statement(stmtIdx);
+  const Array& arr = array(access.arrayId);
+  PIPOLY_CHECK_MSG(access.subscripts.numOutputs() == arr.rank(),
+                   "subscript count does not match rank of array " + arr.name);
+  PIPOLY_CHECK_MSG(access.subscripts.numInputs() ==
+                       stmt.depth() + access.numAuxDims(),
+                   "subscript function arity mismatch for " + stmt.name());
+
+  // Auxiliary dimensions range over a rectangle; enumerate it once.
+  std::vector<pb::Tuple> auxPoints;
+  if (access.numAuxDims() == 0)
+    auxPoints.push_back(pb::Tuple{});
+  else
+    auxPoints = pb::IntTupleSet::rectangle(
+                    pb::Space("aux", access.numAuxDims()), access.auxExtents)
+                    .points();
+
+  std::vector<pb::IntMap::Pair> pairs;
+  pairs.reserve(stmt.domain().size() * auxPoints.size());
+  for (const pb::Tuple& it : stmt.domain().points()) {
+    for (const pb::Tuple& aux : auxPoints) {
+      pb::Tuple subs = access.subscripts.evaluate(concat(it, aux));
+      for (std::size_t d = 0; d < arr.rank(); ++d)
+        PIPOLY_CHECK_MSG(subs[d] >= 0 && subs[d] < arr.shape[d],
+                         "access out of bounds: " + stmt.name() +
+                             it.toString() + " -> " + arr.name +
+                             subs.toString());
+      pairs.emplace_back(it, std::move(subs));
+    }
+  }
+  return pb::IntMap(stmt.space(), arr.space(), std::move(pairs));
+}
+
+namespace {
+pb::IntMap unionOfAccessRelations(const Scop& scop, std::size_t stmtIdx,
+                                  std::size_t arrayId,
+                                  const std::vector<Access>& accesses) {
+  pb::IntMap result(scop.statement(stmtIdx).space(),
+                    scop.array(arrayId).space());
+  for (const Access& a : accesses)
+    if (a.arrayId == arrayId)
+      result = result.unite(scop.accessRelation(stmtIdx, a));
+  return result;
+}
+
+std::vector<std::size_t> uniqueArrayIds(const std::vector<Access>& accesses) {
+  std::vector<std::size_t> ids;
+  for (const Access& a : accesses)
+    ids.push_back(a.arrayId);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+} // namespace
+
+pb::IntMap Scop::writeRelation(std::size_t stmtIdx,
+                               std::size_t arrayId) const {
+  return unionOfAccessRelations(*this, stmtIdx, arrayId,
+                                statement(stmtIdx).writes());
+}
+
+pb::IntMap Scop::readRelation(std::size_t stmtIdx, std::size_t arrayId) const {
+  return unionOfAccessRelations(*this, stmtIdx, arrayId,
+                                statement(stmtIdx).reads());
+}
+
+std::vector<std::size_t> Scop::arraysWrittenBy(std::size_t stmtIdx) const {
+  return uniqueArrayIds(statement(stmtIdx).writes());
+}
+
+std::vector<std::size_t> Scop::arraysReadBy(std::size_t stmtIdx) const {
+  return uniqueArrayIds(statement(stmtIdx).reads());
+}
+
+std::string Scop::toString() const {
+  std::ostringstream os;
+  os << "scop " << name_ << " {\n";
+  for (const Array& a : arrays_) {
+    os << "  array " << a.name << '[';
+    for (std::size_t i = 0; i < a.shape.size(); ++i)
+      os << (i ? ", " : "") << a.shape[i];
+    os << "]\n";
+  }
+  for (const Statement& s : statements_) {
+    os << "  statement " << s.name() << " depth=" << s.depth()
+       << " |domain|=" << s.domain().size() << '\n';
+  }
+  os << "}";
+  return os.str();
+}
+
+} // namespace pipoly::scop

@@ -1,0 +1,105 @@
+#pragma once
+
+// The SCoP intermediate representation: the instantiated counterpart of
+// Polly's static control part. A Scop is an ordered list of consecutive
+// loop nests (one statement per nest, as in the paper's program model,
+// §1/§4), each with an iteration domain and affine read/write accesses
+// into shared arrays.
+
+#include "presburger/affine.hpp"
+#include "presburger/map.hpp"
+#include "presburger/polyhedron.hpp"
+#include "presburger/set.hpp"
+
+#include <string>
+#include <vector>
+
+namespace pipoly::scop {
+
+/// A shared array with instantiated extents.
+struct Array {
+  std::string name;
+  std::vector<pb::Value> shape;
+
+  std::size_t rank() const { return shape.size(); }
+  pb::Space space() const { return pb::Space(name, shape.size()); }
+};
+
+/// One affine access of a statement into an array. `subscripts` maps the
+/// statement's iteration dimensions — optionally extended by auxiliary
+/// dimensions — to array subscripts. Auxiliary dimensions express
+/// multi-element accesses such as "row i of A" (subscript (i, k) with k an
+/// aux dim ranging over [0, auxExtents[0])), which the matrix-multiplication
+/// kernels of the paper's second benchmark set need.
+struct Access {
+  std::size_t arrayId;
+  pb::AffineMap subscripts;
+  std::vector<pb::Value> auxExtents;
+
+  std::size_t numAuxDims() const { return auxExtents.size(); }
+};
+
+/// A statement: the body of one loop nest, executed once per point of its
+/// iteration domain.
+class Statement {
+public:
+  Statement(std::string name, std::size_t depth, pb::Polyhedron domainPoly,
+            pb::IntTupleSet domain, std::vector<Access> writes,
+            std::vector<Access> reads)
+      : name_(std::move(name)), depth_(depth),
+        domainPoly_(std::move(domainPoly)), domain_(std::move(domain)),
+        writes_(std::move(writes)), reads_(std::move(reads)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t depth() const { return depth_; }
+  const pb::Polyhedron& domainPolyhedron() const { return domainPoly_; }
+  const pb::IntTupleSet& domain() const { return domain_; }
+  const std::vector<Access>& writes() const { return writes_; }
+  const std::vector<Access>& reads() const { return reads_; }
+  pb::Space space() const { return domain_.space(); }
+
+private:
+  std::string name_;
+  std::size_t depth_;
+  pb::Polyhedron domainPoly_;
+  pb::IntTupleSet domain_;
+  std::vector<Access> writes_;
+  std::vector<Access> reads_;
+};
+
+class Scop {
+public:
+  Scop(std::string name, std::vector<Array> arrays,
+       std::vector<Statement> statements)
+      : name_(std::move(name)), arrays_(std::move(arrays)),
+        statements_(std::move(statements)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Array>& arrays() const { return arrays_; }
+  const std::vector<Statement>& statements() const { return statements_; }
+  std::size_t numStatements() const { return statements_.size(); }
+  const Statement& statement(std::size_t i) const { return statements_.at(i); }
+  const Array& array(std::size_t i) const { return arrays_.at(i); }
+
+  /// The explicit access relation of one access:
+  /// { stmt iteration -> array element }.
+  pb::IntMap accessRelation(std::size_t stmtIdx, const Access& access) const;
+
+  /// Union of all write (resp. read) access relations of a statement into
+  /// one array.
+  pb::IntMap writeRelation(std::size_t stmtIdx, std::size_t arrayId) const;
+  pb::IntMap readRelation(std::size_t stmtIdx, std::size_t arrayId) const;
+
+  /// Arrays the statement writes (resp. reads), each listed once.
+  std::vector<std::size_t> arraysWrittenBy(std::size_t stmtIdx) const;
+  std::vector<std::size_t> arraysReadBy(std::size_t stmtIdx) const;
+
+  std::string toString() const;
+
+private:
+  std::string name_;
+  std::vector<Array> arrays_;
+  std::vector<Statement> statements_;
+};
+
+} // namespace pipoly::scop

@@ -1,0 +1,47 @@
+#pragma once
+
+// §4.4 analysis support: decomposes a simulated pipelined execution into
+// the paper's eq. 6 terms
+//
+//   time(pipeline) = starting time + time(L_max) + finishing time
+//
+// where L_max is the most expensive loop nest, the starting time is the
+// span before L_max's first block begins, and the finishing time the span
+// after its last block ends. Also reports each statement's share of the
+// critical path — "which nest is the bottleneck".
+
+#include "codegen/task_program.hpp"
+#include "sim/simulator.hpp"
+
+#include <string>
+#include <vector>
+
+namespace pipoly::sim {
+
+struct BottleneckReport {
+  std::size_t maxNest = 0;     // statement index of L_max
+  double maxNestTime = 0.0;    // time(L_max) under the cost model
+  double startingTime = 0.0;   // eq. 6 term
+  double finishingTime = 0.0;  // eq. 6 term
+  double makespan = 0.0;
+  /// Per-statement total simulated busy time.
+  std::vector<double> perStatementWork;
+  /// Per-statement span (first start to last finish).
+  std::vector<double> perStatementSpan;
+
+  /// Slack between the measured makespan and the eq. 6 decomposition
+  /// (>= 0 when L_max does not run back to back).
+  double overlapGap() const {
+    return makespan - (startingTime + maxNestTime + finishingTime);
+  }
+};
+
+BottleneckReport analyzeBottleneck(const SimResult& result,
+                                   const codegen::TaskProgram& program,
+                                   const scop::Scop& scop,
+                                   const CostModel& model);
+
+std::string renderBottleneckReport(const BottleneckReport& report,
+                                   const scop::Scop& scop);
+
+} // namespace pipoly::sim

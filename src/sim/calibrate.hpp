@@ -1,0 +1,31 @@
+#pragma once
+
+// Cost-model calibration: measures the average per-iteration wall-clock
+// cost of each statement by sampling real executions of its instances.
+// This is how the benchmark harnesses turn real kernels into simulator
+// cost models; exposed as an API so downstream users can do the same for
+// their own statement bodies.
+
+#include "scop/scop.hpp"
+#include "sim/simulator.hpp"
+#include "tasking/executor.hpp"
+
+namespace pipoly::sim {
+
+struct CalibrationOptions {
+  /// Instances sampled per statement (spread evenly over the domain).
+  std::size_t samplesPerStatement = 64;
+  /// Timing repetitions over the sample (averaged).
+  int repetitions = 3;
+};
+
+/// Runs samples of every statement through `exec` and returns a CostModel
+/// with measured per-iteration costs. The executor is invoked on real
+/// domain points, so statement bodies with data-dependent cost are
+/// averaged over a representative spread. `taskOverhead` is left at 0;
+/// combine with bench-style overhead measurement if needed.
+CostModel calibrate(const scop::Scop& scop,
+                    const tasking::StatementExecutor& exec,
+                    const CalibrationOptions& options = {});
+
+} // namespace pipoly::sim

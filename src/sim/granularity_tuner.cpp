@@ -1,0 +1,44 @@
+#include "sim/granularity_tuner.hpp"
+
+#include "codegen/task_program.hpp"
+#include "support/assert.hpp"
+
+namespace pipoly::sim {
+
+GranularityChoice chooseGranularity(const scop::Scop& scop,
+                                    const CostModel& model,
+                                    const SimConfig& config,
+                                    const pipeline::DetectOptions& baseOptions,
+                                    std::size_t maxFactor) {
+  PIPOLY_CHECK(maxFactor >= 1);
+  GranularityChoice choice;
+
+  std::size_t previousTasks = 0;
+  for (std::size_t factor = 1;; factor *= 2) {
+    pipeline::DetectOptions opt = baseOptions;
+    opt.coarsening = factor;
+    codegen::TaskProgram prog = codegen::compilePipeline(scop, opt);
+
+    // Stop once coarsening no longer reduces the task count (every nest
+    // has collapsed to a single block).
+    if (previousTasks != 0 && prog.tasks.size() == previousTasks &&
+        prog.tasks.size() == scop.numStatements())
+      break;
+    previousTasks = prog.tasks.size();
+
+    GranularityCandidate candidate;
+    candidate.coarsening = factor;
+    candidate.tasks = prog.tasks.size();
+    candidate.makespan = simulate(prog, model, config).makespan;
+    choice.sweep.push_back(candidate);
+
+    if (choice.best.tasks == 0 ||
+        candidate.makespan < choice.best.makespan)
+      choice.best = candidate;
+    if (factor >= maxFactor)
+      break;
+  }
+  return choice;
+}
+
+} // namespace pipoly::sim

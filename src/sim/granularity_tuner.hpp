@@ -1,0 +1,38 @@
+#pragma once
+
+// §7 future work made concrete: "an interesting idea would be to develop
+// an algorithm to choose a good task granularity when there are multiple
+// choices". The tuner sweeps block-coarsening factors geometrically,
+// simulates each compiled program under the given cost model, and picks
+// the factor with the smallest makespan — amortising task overhead
+// without giving up the overlap the fine blocks provide.
+
+#include "pipeline/detect.hpp"
+#include "scop/scop.hpp"
+#include "sim/simulator.hpp"
+
+#include <vector>
+
+namespace pipoly::sim {
+
+struct GranularityCandidate {
+  std::size_t coarsening = 1;
+  double makespan = 0.0;
+  std::size_t tasks = 0;
+};
+
+struct GranularityChoice {
+  GranularityCandidate best;
+  std::vector<GranularityCandidate> sweep; // all evaluated candidates
+};
+
+/// Evaluates coarsening factors 1, 2, 4, ... up to `maxFactor` (plus the
+/// degenerate one-block-per-nest point) and returns the winner. Options
+/// other than `coarsening` are taken from `baseOptions`.
+GranularityChoice
+chooseGranularity(const scop::Scop& scop, const CostModel& model,
+                  const SimConfig& config,
+                  const pipeline::DetectOptions& baseOptions = {},
+                  std::size_t maxFactor = 256);
+
+} // namespace pipoly::sim

@@ -1,0 +1,190 @@
+#include "sim/simulator.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace pipoly::sim {
+
+SimResult simulate(const codegen::TaskProgram& program, const CostModel& model,
+                   const SimConfig& config) {
+  PIPOLY_CHECK(config.workers >= 1);
+  const std::size_t n = program.tasks.size();
+
+  // Build predecessor edges from the dependency tags (tags are unique per
+  // task, validated by TaskProgram::validate).
+  std::map<std::pair<int, std::int64_t>, std::size_t> outOwner;
+  for (const codegen::Task& t : program.tasks)
+    outOwner[{t.out.idx, t.out.tag}] = t.id;
+
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (const codegen::Task& t : program.tasks) {
+    for (const codegen::TaskDep& d : t.in) {
+      auto it = outOwner.find({d.idx, d.tag});
+      PIPOLY_CHECK_MSG(it != outOwner.end(), "unresolved task dependency");
+      dependents[it->second].push_back(t.id);
+      ++indegree[t.id];
+    }
+  }
+
+  std::vector<double> cost(n);
+  SimResult result;
+  result.workers = config.workers;
+  result.numTasks = n;
+  for (const codegen::Task& t : program.tasks) {
+    cost[t.id] = model.taskCost(t);
+    result.totalWork += cost[t.id];
+  }
+
+  // Critical path (tasks are creation-ordered, edges point forward).
+  std::vector<double> cp(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cp[i] += cost[i];
+    result.criticalPath = std::max(result.criticalPath, cp[i]);
+    for (std::size_t d : dependents[i])
+      cp[d] = std::max(cp[d], cp[i]);
+  }
+
+  // Bottom level (longest path from a task to the exit, inclusive), the
+  // priority of critical-path-first scheduling.
+  std::vector<double> bottomLevel(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double best = 0.0;
+    for (std::size_t d : dependents[i])
+      best = std::max(best, bottomLevel[d]);
+    bottomLevel[i] = cost[i] + best;
+  }
+
+  // Greedy list scheduling with the configured ready-queue policy.
+  auto priority = [&](std::size_t task) -> double {
+    switch (config.policy) {
+    case SimConfig::Policy::CreationOrder:
+      return 0.0;
+    case SimConfig::Policy::CriticalPathFirst:
+      return -bottomLevel[task];
+    case SimConfig::Policy::LongestTaskFirst:
+      return -cost[task];
+    }
+    PIPOLY_UNREACHABLE("policy");
+  };
+  using ReadyKey = std::pair<double, std::size_t>; // (priority, id)
+  std::set<ReadyKey> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0)
+      ready.emplace(priority(i), i);
+
+  // (finish time, task, worker)
+  using Event = std::tuple<double, std::size_t, unsigned>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  std::vector<unsigned> freeWorkers;
+  for (unsigned w = config.workers; w-- > 0;)
+    freeWorkers.push_back(w);
+  double now = 0.0;
+  std::size_t finished = 0;
+  result.events.reserve(n);
+
+  while (finished < n) {
+    // Dispatch as many ready tasks as there are free workers.
+    while (!ready.empty() && !freeWorkers.empty()) {
+      std::size_t task = ready.begin()->second;
+      ready.erase(ready.begin());
+      unsigned worker = freeWorkers.back();
+      freeWorkers.pop_back();
+      result.events.push_back(
+          ScheduleEvent{task, worker, now, now + cost[task]});
+      running.emplace(now + cost[task], task, worker);
+    }
+    PIPOLY_CHECK_MSG(!running.empty(),
+                     "deadlock in task graph simulation (cycle?)");
+    auto [finishTime, task, worker] = running.top();
+    running.pop();
+    now = finishTime;
+    freeWorkers.push_back(worker);
+    ++finished;
+    for (std::size_t d : dependents[task])
+      if (--indegree[d] == 0)
+        ready.emplace(priority(d), d);
+  }
+  result.makespan = now;
+  return result;
+}
+
+double sequentialTime(const scop::Scop& scop, const CostModel& model) {
+  double total = 0.0;
+  for (std::size_t s = 0; s < scop.numStatements(); ++s)
+    total += static_cast<double>(scop.statement(s).domain().size()) *
+             model.iterationCost.at(s);
+  return total;
+}
+
+double maxNestTime(const scop::Scop& scop, const CostModel& model) {
+  double best = 0.0;
+  for (std::size_t s = 0; s < scop.numStatements(); ++s)
+    best = std::max(best,
+                    static_cast<double>(scop.statement(s).domain().size()) *
+                        model.iterationCost.at(s));
+  return best;
+}
+
+std::string renderTimeline(const SimResult& result,
+                           const codegen::TaskProgram& program,
+                           const scop::Scop& scop, std::size_t width) {
+  PIPOLY_CHECK(width >= 10);
+  std::string out;
+  if (result.makespan <= 0.0)
+    return out;
+  const double scale = static_cast<double>(width) / result.makespan;
+
+  std::vector<std::string> rows(result.workers, std::string(width, '.'));
+  for (const ScheduleEvent& ev : result.events) {
+    const std::size_t stmt = program.tasks.at(ev.taskId).stmtIdx;
+    const char symbol = scop.statement(stmt).name().empty()
+                            ? '?'
+                            : scop.statement(stmt).name().front();
+    auto begin = static_cast<std::size_t>(ev.start * scale);
+    auto end = static_cast<std::size_t>(ev.finish * scale);
+    begin = std::min(begin, width - 1);
+    end = std::min(std::max(end, begin + 1), width);
+    for (std::size_t c = begin; c < end; ++c)
+      rows[ev.worker][c] = symbol;
+  }
+
+  std::ostringstream os;
+  os << "time 0";
+  for (std::size_t c = 6; c + 12 < width; ++c)
+    os << ' ';
+  os << "-> " << result.makespan << " s\n";
+  for (unsigned w = 0; w < result.workers; ++w)
+    os << 'w' << w << " |" << rows[w] << "|\n";
+  return os.str();
+}
+
+std::string exportChromeTrace(const SimResult& result,
+                              const codegen::TaskProgram& program,
+                              const scop::Scop& scop) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const ScheduleEvent& ev : result.events) {
+    const codegen::Task& task = program.tasks.at(ev.taskId);
+    if (!first)
+      os << ",\n";
+    first = false;
+    // Durations in microseconds, as the trace format expects.
+    os << "  {\"name\": \"" << scop.statement(task.stmtIdx).name()
+       << task.blockRep.toString() << "\", \"cat\": \"task\", "
+       << "\"ph\": \"X\", \"ts\": " << ev.start * 1e6
+       << ", \"dur\": " << (ev.finish - ev.start) * 1e6
+       << ", \"pid\": 1, \"tid\": " << ev.worker
+       << ", \"args\": {\"task\": " << ev.taskId << ", \"iterations\": "
+       << task.iterations.size() << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+} // namespace pipoly::sim

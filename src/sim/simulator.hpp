@@ -1,0 +1,99 @@
+#pragma once
+
+// Discrete-event simulation of a k-worker machine executing a TaskProgram
+// under greedy (list-scheduling) dispatch. This is the documented
+// substitution for the paper's quad-core (8 hardware threads) testbed:
+// the evaluation host has a single CPU, so parallel wall-clock speedups
+// are reproduced as makespans of the real task graph under a measured
+// cost model instead. The simulator realises exactly the §4.4 performance
+// model: time(L_max) <= time(pipeline) <= time(sequential), with the
+// start/finish phases of eq. 6 emerging from the dependency structure.
+
+#include "codegen/task_program.hpp"
+#include "scop/scop.hpp"
+
+#include <vector>
+
+namespace pipoly::sim {
+
+/// Per-statement cost model. Iteration costs are in seconds and typically
+/// come from measuring the real kernel on the host (see bench/).
+struct CostModel {
+  std::vector<double> iterationCost; // indexed by statement
+  double taskOverhead = 0.0;         // per-task spawn/dispatch cost
+
+  double taskCost(const codegen::Task& task) const {
+    return taskOverhead + static_cast<double>(task.iterations.size()) *
+                              iterationCost.at(task.stmtIdx);
+  }
+};
+
+struct SimConfig {
+  unsigned workers = 8;
+
+  /// Dispatch order among ready tasks.
+  enum class Policy {
+    /// Task creation order (what an OpenMP runtime roughly does with a
+    /// FIFO queue) — the default used for all paper reproductions.
+    CreationOrder,
+    /// Highest bottom-level first (critical-path scheduling).
+    CriticalPathFirst,
+    /// Longest task first.
+    LongestTaskFirst,
+  };
+  Policy policy = Policy::CreationOrder;
+};
+
+/// One scheduled task execution (for timeline rendering, cf. Fig. 2).
+struct ScheduleEvent {
+  std::size_t taskId;
+  unsigned worker;
+  double start;
+  double finish;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  double totalWork = 0.0;    // sum of all task costs
+  double criticalPath = 0.0; // longest cost-weighted dependency chain
+  unsigned workers = 0;
+  std::size_t numTasks = 0;
+  std::vector<ScheduleEvent> events; // in dispatch order
+
+  double utilization() const {
+    return makespan > 0.0 ? totalWork / (makespan * workers) : 0.0;
+  }
+  double speedupOver(double sequentialTime) const {
+    return makespan > 0.0 ? sequentialTime / makespan : 0.0;
+  }
+};
+
+/// Greedy non-preemptive list scheduling of the task graph on `workers`
+/// identical workers; ready tasks are dispatched in creation order.
+SimResult simulate(const codegen::TaskProgram& program, const CostModel& model,
+                   const SimConfig& config);
+
+/// Time of the original (un-pipelined) program: all iterations in order.
+double sequentialTime(const scop::Scop& scop, const CostModel& model);
+
+/// Running time of the single most expensive loop nest — the paper's
+/// time(L_max) lower bound of eq. 5.
+double maxNestTime(const scop::Scop& scop, const CostModel& model);
+
+/// Renders the simulated schedule as an ASCII Gantt chart (the paper's
+/// Fig. 2 visualisation): one row per worker, each task drawn as a run of
+/// its statement's letter. `width` is the number of character columns the
+/// makespan is scaled onto.
+std::string renderTimeline(const SimResult& result,
+                           const codegen::TaskProgram& program,
+                           const scop::Scop& scop, std::size_t width = 80);
+
+/// Exports the simulated schedule in Chrome Trace Event Format (JSON):
+/// load the output in chrome://tracing or https://ui.perfetto.dev to
+/// inspect the pipeline interactively. Workers appear as threads; each
+/// task is a complete ("X") event named after its statement and block.
+std::string exportChromeTrace(const SimResult& result,
+                              const codegen::TaskProgram& program,
+                              const scop::Scop& scop);
+
+} // namespace pipoly::sim

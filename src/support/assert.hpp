@@ -1,0 +1,57 @@
+#pragma once
+
+// Always-on checked assertions for library invariants.
+//
+// PIPOLY_CHECK is used for conditions that guard correctness of the
+// polyhedral computations (they stay on in release builds: a silently
+// wrong dependence analysis is far worse than a small branch cost).
+// PIPOLY_ASSERT is a debug-only assertion for hot paths.
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pipoly {
+
+/// Exception thrown on any violated library invariant or misuse of the API.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* cond, const std::string& msg,
+                                     const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << cond;
+  if (!msg.empty())
+    os << " — " << msg;
+  throw Error(os.str());
+}
+} // namespace detail
+
+} // namespace pipoly
+
+#define PIPOLY_CHECK(cond)                                                     \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::pipoly::detail::checkFailed(#cond, {}, std::source_location::current()); \
+  } while (0)
+
+#define PIPOLY_CHECK_MSG(cond, msg)                                            \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::pipoly::detail::checkFailed(#cond, (msg),                              \
+                                    std::source_location::current());          \
+  } while (0)
+
+#ifdef NDEBUG
+#define PIPOLY_ASSERT(cond) ((void)0)
+#else
+#define PIPOLY_ASSERT(cond) PIPOLY_CHECK(cond)
+#endif
+
+#define PIPOLY_UNREACHABLE(msg)                                                \
+  ::pipoly::detail::checkFailed("unreachable", (msg),                          \
+                                std::source_location::current())

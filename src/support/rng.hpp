@@ -1,0 +1,50 @@
+#pragma once
+
+// Deterministic, seedable PRNG used by tests, property sweeps and the
+// synthetic compute kernels. We deliberately avoid std::mt19937 so that
+// the benchmark workloads are bit-identical across standard libraries.
+
+#include <cstdint>
+
+namespace pipoly {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  /// Uniform value in [lo, hi] (inclusive).
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// Stateless mixing of an arbitrary number of integers into one hash.
+/// Used to derive per-instance seeds from iteration vectors.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+} // namespace pipoly

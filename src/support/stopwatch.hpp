@@ -1,0 +1,29 @@
+#pragma once
+
+// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+// cost-model calibration.
+
+#include <chrono>
+
+namespace pipoly {
+
+class Stopwatch {
+public:
+  Stopwatch() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+  double microseconds() const noexcept { return seconds() * 1e6; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+} // namespace pipoly

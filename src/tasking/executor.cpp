@@ -1,0 +1,53 @@
+#include "tasking/executor.hpp"
+
+#include "support/assert.hpp"
+
+#include <vector>
+
+namespace pipoly::tasking {
+
+namespace {
+
+/// The per-task input structure handed through the void* CreateTask API
+/// (the paper integrates the task's arguments into a struct, §5.5).
+struct TaskLaunch {
+  const codegen::Task* task;
+  const StatementExecutor* exec;
+};
+
+/// The extracted task function: runs every iteration of one block.
+void runBlock(void* raw) {
+  const TaskLaunch& launch = *static_cast<TaskLaunch*>(raw);
+  for (const pb::Tuple& it : launch.task->iterations)
+    (*launch.exec)(launch.task->stmtIdx, it);
+}
+
+} // namespace
+
+void executeTaskProgram(const codegen::TaskProgram& program,
+                        TaskingLayer& layer, const StatementExecutor& exec) {
+  layer.run([&] {
+    std::vector<std::int64_t> inDepend;
+    std::vector<int> inIdx;
+    for (const codegen::Task& task : program.tasks) {
+      inDepend.clear();
+      inIdx.clear();
+      for (const codegen::TaskDep& dep : task.in) {
+        inDepend.push_back(dep.tag);
+        inIdx.push_back(dep.idx);
+      }
+      TaskLaunch launch{&task, &exec};
+      layer.createTask(&runBlock, &launch, sizeof(TaskLaunch), task.out.tag,
+                       task.out.idx, inDepend.data(), inIdx.data(),
+                       inDepend.size());
+    }
+  });
+}
+
+void executeSequential(const scop::Scop& scop, const StatementExecutor& exec) {
+  for (std::size_t s = 0; s < scop.numStatements(); ++s)
+    for (const pb::Tuple& it : scop.statement(s).domain().points())
+      exec(s, it);
+}
+
+} // namespace pipoly::tasking

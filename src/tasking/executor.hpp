@@ -1,0 +1,30 @@
+#pragma once
+
+// Bridges the backend-agnostic TaskProgram (§5.4 output) and the tasking
+// layer (§5.5): spawns one task per block through the paper's CreateTask
+// API. The statement bodies are provided by the caller as a callback that
+// executes one dynamic instance (stmtIdx, iteration vector) — the stand-in
+// for the function the prototype extracts out of the pipeline-loop body.
+
+#include "codegen/task_program.hpp"
+#include "tasking/tasking.hpp"
+
+#include <functional>
+
+namespace pipoly::tasking {
+
+/// Executes one dynamic statement instance.
+using StatementExecutor =
+    std::function<void(std::size_t stmtIdx, const pb::Tuple& iteration)>;
+
+/// Runs the whole task program on the given backend. Blocks until every
+/// task finished.
+void executeTaskProgram(const codegen::TaskProgram& program,
+                        TaskingLayer& layer, const StatementExecutor& exec);
+
+/// Reference execution: runs every statement's iterations in original
+/// program order without tasking. Used as ground truth by tests and
+/// benchmarks.
+void executeSequential(const scop::Scop& scop, const StatementExecutor& exec);
+
+} // namespace pipoly::tasking

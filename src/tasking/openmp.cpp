@@ -1,0 +1,135 @@
+#include "tasking/tasking.hpp"
+
+#include "support/assert.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace pipoly::tasking {
+
+#ifdef _OPENMP
+
+namespace {
+
+/// OpenMP backend following Fig. 8: a global dependency array provides the
+/// addresses for the depend clauses; in-dependencies use the iterator
+/// modifier so a task can wait on a variable number of slots; the input is
+/// malloc'ed, memcpy'ed and freed inside the task.
+///
+/// The paper addresses dependArr as [writeNum*outDepend + outIdx], which
+/// works when block tags are small and dense. Our linearised tags are
+/// sparse, so slots are remapped densely on first use — the depend-clause
+/// semantics (same (idx, tag) => same address) are unchanged. A std::deque
+/// keeps element addresses stable as slots are added.
+class OpenMPBackend final : public TaskingLayer {
+public:
+  explicit OpenMPBackend(bool funcCountOrdering)
+      : funcCountOrdering_(funcCountOrdering) {}
+
+  std::string_view name() const override { return "openmp"; }
+
+  void createTask(TaskFunction f, const void* input, std::size_t inputSize,
+                  std::int64_t outDepend, int outIdx,
+                  const std::int64_t* inDepend, const int* inIdx,
+                  std::size_t dependNum) override {
+    PIPOLY_CHECK_MSG(inRegion_, "createTask outside of run()");
+
+    char* outAddr = slotAddress(outIdx, outDepend);
+    std::vector<char*> inAddrs;
+    inAddrs.reserve(dependNum + 1);
+    for (std::size_t k = 0; k < dependNum; ++k)
+      inAddrs.push_back(slotAddress(inIdx[k], inDepend[k]));
+
+    // Fig. 8's funcCount protocol: tasks sharing a function pointer are
+    // chained through per-function slots — the paper's way of keeping the
+    // blocks of one loop nest in order. The function pointer plays the
+    // role of `self`; funcCount_[f] is the per-nest task counter.
+    char* funcOutAddr = nullptr;
+    if (funcCountOrdering_) {
+      std::size_t count = funcCount_[f]++;
+      if (count > 0)
+        inAddrs.push_back(funcSlotAddress(f, count - 1));
+      funcOutAddr = funcSlotAddress(f, count);
+    }
+
+    // Fig. 8: copy the task input; the task frees it after running.
+    void* inputCopy = std::malloc(inputSize);
+    PIPOLY_CHECK(inputCopy != nullptr || inputSize == 0);
+    std::memcpy(inputCopy, input, inputSize);
+
+    char** inArr = inAddrs.data();
+    const std::size_t numIn = inAddrs.size();
+    char* outArr[2] = {outAddr, funcOutAddr ? funcOutAddr : outAddr};
+    const std::size_t numOut = funcOutAddr ? 2 : 1;
+    // References inside depend clauses are invisible to -Wunused.
+    (void)inArr;
+    (void)outArr;
+// The depend lists are evaluated at task-creation time, so the local
+// arrays are safe to use inside the clauses.
+#pragma omp task firstprivate(f, inputCopy)                                   \
+    depend(iterator(k = 0 : numIn), in : inArr[k][0])                         \
+    depend(iterator(k = 0 : numOut), out : outArr[k][0])
+    {
+      f(inputCopy);
+      std::free(inputCopy);
+    }
+  }
+
+  void run(const std::function<void()>& spawner) override {
+    // The generated code of §5.4 launches the task-spawning function in
+    // `omp parallel` + `omp single`; the implicit barrier at the end of
+    // the parallel region waits for all tasks.
+    inRegion_ = true;
+#pragma omp parallel default(shared)
+#pragma omp single
+    spawner();
+    inRegion_ = false;
+    slots_.clear();
+    slotIndex_.clear();
+    funcCount_.clear();
+    funcSlotIndex_.clear();
+  }
+
+private:
+  char* slotAddress(int idx, std::int64_t tag) {
+    auto [it, fresh] = slotIndex_.try_emplace({idx, tag}, slots_.size());
+    if (fresh)
+      slots_.push_back(0);
+    return &slots_[it->second];
+  }
+
+  char* funcSlotAddress(TaskFunction f, std::size_t count) {
+    auto [it, fresh] = funcSlotIndex_.try_emplace({f, count}, slots_.size());
+    if (fresh)
+      slots_.push_back(0);
+    return &slots_[it->second];
+  }
+
+  bool funcCountOrdering_;
+  bool inRegion_ = false;
+  std::deque<char> slots_;
+  std::map<std::pair<int, std::int64_t>, std::size_t> slotIndex_;
+  std::map<TaskFunction, std::size_t> funcCount_;
+  std::map<std::pair<TaskFunction, std::size_t>, std::size_t> funcSlotIndex_;
+};
+
+} // namespace
+
+std::unique_ptr<TaskingLayer> makeOpenMPBackend(bool funcCountOrdering) {
+  return std::make_unique<OpenMPBackend>(funcCountOrdering);
+}
+
+bool openMPAvailable() { return true; }
+
+#else // !_OPENMP
+
+std::unique_ptr<TaskingLayer> makeOpenMPBackend(bool) { return nullptr; }
+
+bool openMPAvailable() { return false; }
+
+#endif
+
+} // namespace pipoly::tasking

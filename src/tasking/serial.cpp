@@ -1,0 +1,60 @@
+#include "tasking/tasking.hpp"
+
+#include "support/assert.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace pipoly::tasking {
+
+namespace {
+
+/// Reference backend: tasks run immediately at creation. Creation order is
+/// always a valid topological order of the dependency graph (an
+/// in-dependency can only name an earlier task under OpenMP last-writer
+/// semantics), so immediate execution trivially satisfies every
+/// dependency.
+class SerialBackend final : public TaskingLayer {
+public:
+  std::string_view name() const override { return "serial"; }
+
+  void createTask(TaskFunction f, const void* input, std::size_t inputSize,
+                  std::int64_t outDepend, int outIdx,
+                  const std::int64_t* inDepend, const int* inIdx,
+                  std::size_t dependNum) override {
+    PIPOLY_CHECK_MSG(inRegion_, "createTask outside of run()");
+    (void)outDepend;
+    (void)outIdx;
+    (void)inDepend;
+    (void)inIdx;
+    (void)dependNum;
+    // Copy-in mirrors the malloc/memcpy of Fig. 8 even though the body
+    // runs synchronously, so f sees identical lifetime semantics on every
+    // backend.
+    std::vector<std::byte> copy(inputSize);
+    std::memcpy(copy.data(), input, inputSize);
+    f(copy.data());
+  }
+
+  void run(const std::function<void()>& spawner) override {
+    inRegion_ = true;
+    try {
+      spawner();
+    } catch (...) {
+      inRegion_ = false;
+      throw;
+    }
+    inRegion_ = false;
+  }
+
+private:
+  bool inRegion_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<TaskingLayer> makeSerialBackend() {
+  return std::make_unique<SerialBackend>();
+}
+
+} // namespace pipoly::tasking

@@ -1,0 +1,71 @@
+#include "tasking/tasking.hpp"
+
+#include "runtime/thread_pool.hpp"
+#include "support/assert.hpp"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace pipoly::tasking {
+
+namespace {
+
+class ThreadPoolBackend final : public TaskingLayer {
+public:
+  explicit ThreadPoolBackend(unsigned numThreads) : numThreads_(numThreads) {}
+
+  std::string_view name() const override { return "threadpool"; }
+
+  void createTask(TaskFunction f, const void* input, std::size_t inputSize,
+                  std::int64_t outDepend, int outIdx,
+                  const std::int64_t* inDepend, const int* inIdx,
+                  std::size_t dependNum) override {
+    PIPOLY_CHECK_MSG(pool_ != nullptr, "createTask outside of run()");
+
+    // Resolve in-dependencies against the last writer of each slot
+    // (OpenMP depend semantics). Unpublished slots are ready.
+    std::vector<rt::DependencyThreadPool::TaskId> deps;
+    deps.reserve(dependNum);
+    for (std::size_t k = 0; k < dependNum; ++k) {
+      auto it = lastWriter_.find({inIdx[k], inDepend[k]});
+      if (it != lastWriter_.end())
+        deps.push_back(it->second);
+    }
+
+    auto copy = std::make_shared<std::vector<std::byte>>(inputSize);
+    std::memcpy(copy->data(), input, inputSize);
+    auto id = pool_->submit(
+        [f, copy = std::move(copy)] { f(copy->data()); }, deps);
+    lastWriter_[{outIdx, outDepend}] = id;
+  }
+
+  void run(const std::function<void()>& spawner) override {
+    rt::DependencyThreadPool pool(numThreads_);
+    pool_ = &pool;
+    try {
+      spawner();
+      pool.waitAll();
+    } catch (...) {
+      pool_ = nullptr;
+      lastWriter_.clear();
+      throw;
+    }
+    pool_ = nullptr;
+    lastWriter_.clear();
+  }
+
+private:
+  unsigned numThreads_;
+  rt::DependencyThreadPool* pool_ = nullptr;
+  std::map<std::pair<int, std::int64_t>, rt::DependencyThreadPool::TaskId>
+      lastWriter_;
+};
+
+} // namespace
+
+std::unique_ptr<TaskingLayer> makeThreadPoolBackend(unsigned numThreads) {
+  return std::make_unique<ThreadPoolBackend>(numThreads);
+}
+
+} // namespace pipoly::tasking

@@ -1,0 +1,94 @@
+#include "tasking/timing_layer.hpp"
+
+#include "support/assert.hpp"
+#include "support/stopwatch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace pipoly::tasking {
+
+namespace {
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
+
+/// The wrapped task: times the inner function around its execution. The
+/// trampoline owns a copy of the original input (the inner layer will
+/// copy the trampoline pointer struct, not the user payload, so the
+/// payload must outlive the task).
+struct TimingLayer::Trampoline {
+  TimingLayer* layer;
+  std::size_t index;
+  TaskFunction fn;
+  std::vector<std::byte> payload;
+
+  void recordInto(double start, double finish);
+};
+
+namespace {
+void runTimed(void* raw) {
+  auto* t = *static_cast<TimingLayer::Trampoline**>(raw);
+  const double start = nowSeconds();
+  t->fn(t->payload.data());
+  const double finish = nowSeconds();
+  t->recordInto(start, finish);
+}
+} // namespace
+
+// Out-of-line so the anonymous-namespace trampoline body can call back.
+void TimingLayer::Trampoline::recordInto(double start, double finish) {
+  std::lock_guard lock(layer->mutex_);
+  layer->timings_.push_back(
+      TimedTask{index, start - layer->runStart_, finish - layer->runStart_});
+}
+
+TimingLayer::TimingLayer(std::unique_ptr<TaskingLayer> inner)
+    : inner_(std::move(inner)) {
+  PIPOLY_CHECK(inner_ != nullptr);
+}
+
+TimingLayer::~TimingLayer() = default;
+
+void TimingLayer::createTask(TaskFunction f, const void* input,
+                             std::size_t inputSize, std::int64_t outDepend,
+                             int outIdx, const std::int64_t* inDepend,
+                             const int* inIdx, std::size_t dependNum) {
+  auto tramp = std::make_unique<Trampoline>();
+  tramp->layer = this;
+  tramp->index = created_++;
+  tramp->fn = f;
+  tramp->payload.resize(inputSize);
+  std::memcpy(tramp->payload.data(), input, inputSize);
+  Trampoline* raw = tramp.get();
+  trampolines_.push_back(std::move(tramp));
+  inner_->createTask(&runTimed, &raw, sizeof(raw), outDepend, outIdx,
+                     inDepend, inIdx, dependNum);
+}
+
+void TimingLayer::run(const std::function<void()>& spawner) {
+  timings_.clear();
+  trampolines_.clear();
+  created_ = 0;
+  runStart_ = nowSeconds();
+  inner_->run(spawner);
+  lastRunSeconds_ = nowSeconds() - runStart_;
+  std::lock_guard lock(mutex_);
+  std::sort(timings_.begin(), timings_.end(),
+            [](const TimedTask& a, const TimedTask& b) {
+              return a.index < b.index;
+            });
+}
+
+double TimingLayer::totalBusySeconds() const {
+  double total = 0.0;
+  for (const TimedTask& t : timings_)
+    total += t.finish - t.start;
+  return total;
+}
+
+} // namespace pipoly::tasking

@@ -1,0 +1,62 @@
+#pragma once
+
+// A decorating tasking layer that records real wall-clock start/finish
+// times of every task it runs. Two purposes:
+//
+//  * on multi-core hosts, it produces a *measured* Fig.-2 timeline to set
+//    against the simulator's predicted one;
+//  * on any host it validates the machine-simulator substitution: the
+//    measured serialized execution time must match the simulator's
+//    1-worker makespan for the same cost model (see bench_validation).
+
+#include "tasking/tasking.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace pipoly::tasking {
+
+struct TimedTask {
+  std::size_t index; // creation order
+  double start;      // seconds since run() began
+  double finish;
+};
+
+class TimingLayer final : public TaskingLayer {
+public:
+  explicit TimingLayer(std::unique_ptr<TaskingLayer> inner);
+  ~TimingLayer() override;
+
+  std::string_view name() const override { return "timing"; }
+
+  void createTask(TaskFunction f, const void* input, std::size_t inputSize,
+                  std::int64_t outDepend, int outIdx,
+                  const std::int64_t* inDepend, const int* inIdx,
+                  std::size_t dependNum) override;
+
+  void run(const std::function<void()>& spawner) override;
+
+  /// Records of the most recent run(), in creation order.
+  const std::vector<TimedTask>& timings() const { return timings_; }
+
+  /// Wall-clock duration of the most recent run().
+  double lastRunSeconds() const { return lastRunSeconds_; }
+
+  /// Sum of task body durations of the most recent run().
+  double totalBusySeconds() const;
+
+  /// Implementation detail of the timed dispatch (public only because the
+  /// C-style task function needs to name it).
+  struct Trampoline;
+
+private:
+  std::unique_ptr<TaskingLayer> inner_;
+  std::mutex mutex_;
+  std::vector<TimedTask> timings_;
+  std::vector<std::unique_ptr<Trampoline>> trampolines_;
+  double runStart_ = 0.0;
+  double lastRunSeconds_ = 0.0;
+  std::size_t created_ = 0;
+};
+
+} // namespace pipoly::tasking

@@ -1,0 +1,98 @@
+#include "baselines/polly_like.hpp"
+
+#include "kernels/matmul.hpp"
+#include "kernels/suite.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::baselines {
+namespace {
+
+sim::CostModel uniformModel(std::size_t n, double c) {
+  sim::CostModel m;
+  m.iterationCost.assign(n, c);
+  return m;
+}
+
+TEST(PollyBaselineTest, ParallelizesIndependentNest) {
+  scop::ScopBuilder b("par");
+  std::size_t A = b.array("A", {8, 8});
+  std::size_t B = b.array("B", {8, 8});
+  auto S = b.statement("S", 2);
+  S.bound(0, 0, 8).bound(1, 0, 8);
+  S.write(B, {S.dim(0), S.dim(1)});
+  S.read(A, {S.dim(0), S.dim(1)});
+  scop::Scop scop = b.build();
+
+  PollyResult r = pollyLikeSchedule(scop, uniformModel(1, 1.0),
+                                    PollyConfig{4});
+  ASSERT_EQ(r.nests.size(), 1u);
+  EXPECT_TRUE(r.nests[0].parallelized);
+  EXPECT_EQ(r.nests[0].parallelDim, 0u);
+  EXPECT_DOUBLE_EQ(r.totalTime, 64.0 / 4.0);
+}
+
+TEST(PollyBaselineTest, SerialNestGetsNoSpeedup) {
+  // Listing 1's S reads A[i+1][j+1]: both dims carry dependences.
+  scop::Scop scop = testing::listing1(12);
+  PollyResult r = pollyLikeSchedule(scop, uniformModel(2, 1.0),
+                                    PollyConfig{8});
+  EXPECT_EQ(r.numParallelNests, 0u);
+  double work = static_cast<double>(scop.statement(0).domain().size() +
+                                    scop.statement(1).domain().size());
+  EXPECT_DOUBLE_EQ(r.totalTime, work);
+}
+
+TEST(PollyBaselineTest, Table9ProgramsAreAllSerial) {
+  // The paper designed the first benchmark set so Polly finds nothing.
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, 16);
+    PollyResult r = pollyLikeSchedule(
+        scop, uniformModel(scop.numStatements(), 1.0), PollyConfig{8});
+    EXPECT_EQ(r.numParallelNests, 0u) << spec.name;
+  }
+}
+
+TEST(PollyBaselineTest, NmmNestsAreParallelGnmmAreNot) {
+  scop::Scop nmm = kernels::matmulChain(kernels::MatmulVariant::NMM, 2, 16);
+  PollyResult rNmm = pollyLikeSchedule(
+      nmm, uniformModel(nmm.numStatements(), 1.0), PollyConfig{8});
+  EXPECT_EQ(rNmm.numParallelNests, nmm.numStatements());
+
+  scop::Scop gnmm = kernels::matmulChain(kernels::MatmulVariant::GNMM, 2, 16);
+  PollyResult rGnmm = pollyLikeSchedule(
+      gnmm, uniformModel(gnmm.numStatements(), 1.0), PollyConfig{8});
+  EXPECT_EQ(rGnmm.numParallelNests, 0u);
+}
+
+TEST(PollyBaselineTest, ThreadScalingCapsAtTripCount) {
+  scop::ScopBuilder b("small");
+  std::size_t A = b.array("A", {2, 64});
+  std::size_t B = b.array("B", {2, 64});
+  auto S = b.statement("S", 2);
+  S.bound(0, 0, 2).bound(1, 0, 64);
+  S.write(B, {S.dim(0), S.dim(1)});
+  S.read(A, {S.dim(0), S.dim(1)});
+  scop::Scop scop = b.build();
+  PollyResult r = pollyLikeSchedule(scop, uniformModel(1, 1.0),
+                                    PollyConfig{8});
+  // Outer dim trip = 2; 8 threads cannot help beyond 2-way.
+  EXPECT_DOUBLE_EQ(r.totalTime, 128.0 / 2.0);
+}
+
+TEST(PollyBaselineTest, ParallelOverheadCharged) {
+  scop::ScopBuilder b("par");
+  std::size_t A = b.array("A", {8});
+  std::size_t B = b.array("B", {8});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 8).write(B, {S.dim(0)}).read(A, {S.dim(0)});
+  scop::Scop scop = b.build();
+  PollyConfig cfg{4};
+  cfg.parallelOverheadPerNest = 10.0;
+  PollyResult r = pollyLikeSchedule(scop, uniformModel(1, 1.0), cfg);
+  EXPECT_DOUBLE_EQ(r.totalTime, 8.0 / 4.0 + 10.0);
+}
+
+} // namespace
+} // namespace pipoly::baselines

@@ -1,0 +1,92 @@
+#include "sim/bottleneck.hpp"
+
+#include "codegen/task_program.hpp"
+#include "kernels/chains.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::sim {
+namespace {
+
+TEST(BottleneckTest, IdentifiesHeaviestNest) {
+  scop::Scop scop = testing::chain(3, 9);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel model;
+  model.iterationCost = {1e-5, 5e-5, 1e-5}; // middle nest dominates
+  SimResult r = simulate(prog, model, SimConfig{8});
+  BottleneckReport report = analyzeBottleneck(r, prog, scop, model);
+  EXPECT_EQ(report.maxNest, 1u);
+  EXPECT_DOUBLE_EQ(report.maxNestTime, 81 * 5e-5);
+}
+
+TEST(BottleneckTest, Equation6TermsAreConsistent) {
+  scop::Scop scop = kernels::shrinkingChain(4, 20, 4);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel model;
+  model.iterationCost = kernels::defaultStageWeights(4);
+  for (double& w : model.iterationCost)
+    w *= 1e-5;
+  SimResult r = simulate(prog, model, SimConfig{8});
+  BottleneckReport report = analyzeBottleneck(r, prog, scop, model);
+  EXPECT_GE(report.startingTime, 0.0);
+  EXPECT_GE(report.finishingTime, 0.0);
+  EXPECT_GE(report.overlapGap(), -1e-9)
+      << "makespan must be at least start + L_max + finish";
+  EXPECT_DOUBLE_EQ(report.makespan, r.makespan);
+}
+
+TEST(BottleneckTest, PerStatementWorkSumsToTotal) {
+  scop::Scop scop = testing::listing3(14);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel model;
+  model.iterationCost.assign(3, 2e-5);
+  SimResult r = simulate(prog, model, SimConfig{4});
+  BottleneckReport report = analyzeBottleneck(r, prog, scop, model);
+  double sum = 0;
+  for (double w : report.perStatementWork)
+    sum += w;
+  EXPECT_NEAR(sum, r.totalWork, 1e-9);
+}
+
+TEST(BottleneckTest, RenderMentionsEveryStatement) {
+  scop::Scop scop = testing::listing3(12);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel model;
+  model.iterationCost.assign(3, 1e-5);
+  SimResult r = simulate(prog, model, SimConfig{4});
+  std::string text = renderBottleneckReport(
+      analyzeBottleneck(r, prog, scop, model), scop);
+  for (const char* needle : {"L_max nest", "starting time",
+                             "finishing time", "S:", "R:", "U:"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST(BottleneckTest, RequiresSimulatedEvents) {
+  scop::Scop scop = testing::listing1(10);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel model;
+  model.iterationCost.assign(2, 1e-5);
+  SimResult empty; // no events
+  EXPECT_THROW((void)analyzeBottleneck(empty, prog, scop, model), Error);
+}
+
+TEST(ChromeTraceTest, WellFormedOutput) {
+  scop::Scop scop = testing::listing1(10);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel model;
+  model.iterationCost.assign(2, 1e-5);
+  SimResult r = simulate(prog, model, SimConfig{2});
+  std::string json = exportChromeTrace(r, prog, scop);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  std::size_t events = 0, pos = 0;
+  while ((pos = json.find("\"cat\": \"task\"", pos)) != std::string::npos) {
+    ++events;
+    ++pos;
+  }
+  EXPECT_EQ(events, prog.tasks.size());
+}
+
+} // namespace
+} // namespace pipoly::sim

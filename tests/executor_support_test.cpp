@@ -1,0 +1,105 @@
+// Coverage for the executor entry points and the small support
+// utilities that everything else leans on.
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/str.hpp"
+#include "tasking/executor.hpp"
+
+#include "codegen/task_program.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly {
+namespace {
+
+TEST(ExecuteSequentialTest, VisitsInProgramOrder) {
+  scop::Scop scop = testing::listing1(8);
+  std::vector<std::pair<std::size_t, pb::Tuple>> visited;
+  tasking::executeSequential(scop, [&](std::size_t s, const pb::Tuple& it) {
+    visited.emplace_back(s, it);
+  });
+  std::size_t expected = scop.statement(0).domain().size() +
+                         scop.statement(1).domain().size();
+  ASSERT_EQ(visited.size(), expected);
+  // Statement 0 first, in lexicographic order; then statement 1.
+  std::size_t split = scop.statement(0).domain().size();
+  for (std::size_t k = 0; k < visited.size(); ++k)
+    EXPECT_EQ(visited[k].first, k < split ? 0u : 1u);
+  for (std::size_t k = 1; k < split; ++k)
+    EXPECT_LT(visited[k - 1].second, visited[k].second);
+}
+
+TEST(ExecuteTaskProgramTest, EveryInstanceExactlyOnce) {
+  scop::Scop scop = testing::listing3(10);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  std::mutex m;
+  std::map<std::pair<std::size_t, pb::Tuple>, int> counts;
+  auto layer = tasking::makeThreadPoolBackend(4);
+  tasking::executeTaskProgram(prog, *layer,
+                              [&](std::size_t s, const pb::Tuple& it) {
+                                std::lock_guard lock(m);
+                                ++counts[{s, it}];
+                              });
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < scop.numStatements(); ++s)
+    total += scop.statement(s).domain().size();
+  EXPECT_EQ(counts.size(), total);
+  for (const auto& [key, count] : counts)
+    EXPECT_EQ(count, 1);
+}
+
+TEST(SplitMix64Test, DeterministicAndRangeRespecting) {
+  SplitMix64 a(42), b(42);
+  for (int k = 0; k < 100; ++k)
+    EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(7);
+  for (int k = 0; k < 200; ++k) {
+    auto v = c.nextInRange(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+  for (int k = 0; k < 50; ++k)
+    EXPECT_LT(c.nextBelow(10), 10u);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(hashCombine(hashCombine(0, 1), 2),
+            hashCombine(hashCombine(0, 2), 1));
+  EXPECT_EQ(hashCombine(5, 9), hashCombine(5, 9));
+}
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  Stopwatch sw;
+  double a = sw.seconds();
+  double b = sw.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  sw.reset();
+  EXPECT_GE(sw.seconds(), 0.0);
+  EXPECT_GE(sw.milliseconds(), 0.0);
+}
+
+TEST(StrTest, JoinSplitTrim) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(join(v, ", "), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}, ","), "");
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ScopPrintTest, ToStringListsArraysAndStatements) {
+  scop::Scop scop = testing::listing1(10);
+  std::string text = scop.toString();
+  for (const char* needle :
+       {"scop listing1", "array A[10, 10]", "array B[10, 10]",
+        "statement S", "statement R", "depth=2"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+} // namespace
+} // namespace pipoly

@@ -1,0 +1,102 @@
+// Tests the literal Fig.-8 funcCount protocol of the OpenMP backend:
+// tasks sharing a function pointer run in creation order *without* any
+// explicit self dependencies from the caller.
+
+#include "tasking/tasking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace pipoly::tasking {
+namespace {
+
+struct Recorder {
+  std::mutex mutex;
+  std::vector<int> order;
+};
+
+struct Payload {
+  Recorder* rec;
+  int value;
+};
+
+void recordA(void* raw) {
+  auto* p = static_cast<Payload*>(raw);
+  std::lock_guard lock(p->rec->mutex);
+  p->rec->order.push_back(p->value);
+}
+
+void recordB(void* raw) {
+  auto* p = static_cast<Payload*>(raw);
+  std::lock_guard lock(p->rec->mutex);
+  p->rec->order.push_back(1000 + p->value);
+}
+
+TEST(FuncCountProtocolTest, SameFunctionTasksRunInOrder) {
+  if (!openMPAvailable())
+    GTEST_SKIP();
+  auto layer = makeOpenMPBackend(/*funcCountOrdering=*/true);
+  Recorder rec;
+  layer->run([&] {
+    // 30 independent tasks (no explicit deps) through the same function:
+    // funcCount must serialize them in creation order.
+    for (int k = 0; k < 30; ++k) {
+      Payload p{&rec, k};
+      layer->createTask(&recordA, &p, sizeof(p), /*outDepend=*/k,
+                        /*outIdx=*/0, nullptr, nullptr, 0);
+    }
+  });
+  ASSERT_EQ(rec.order.size(), 30u);
+  for (int k = 0; k < 30; ++k)
+    EXPECT_EQ(rec.order[static_cast<std::size_t>(k)], k);
+}
+
+TEST(FuncCountProtocolTest, DifferentFunctionsAreNotChained) {
+  if (!openMPAvailable())
+    GTEST_SKIP();
+  auto layer = makeOpenMPBackend(/*funcCountOrdering=*/true);
+  Recorder rec;
+  layer->run([&] {
+    for (int k = 0; k < 10; ++k) {
+      Payload pa{&rec, k};
+      layer->createTask(&recordA, &pa, sizeof(pa), k, 0, nullptr, nullptr,
+                        0);
+      Payload pb{&rec, k};
+      layer->createTask(&recordB, &pb, sizeof(pb), k, 1, nullptr, nullptr,
+                        0);
+    }
+  });
+  ASSERT_EQ(rec.order.size(), 20u);
+  // Within each function the order is preserved (subsequence check).
+  std::vector<int> a, b;
+  for (int v : rec.order)
+    (v < 1000 ? a : b).push_back(v % 1000);
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_EQ(a[k], static_cast<int>(k));
+  for (std::size_t k = 0; k < b.size(); ++k)
+    EXPECT_EQ(b[k], static_cast<int>(k));
+}
+
+TEST(FuncCountProtocolTest, DefaultBackendDoesNotChain) {
+  if (!openMPAvailable())
+    GTEST_SKIP();
+  // Sanity check of the mechanism under test: the default backend runs
+  // same-function tasks with no implicit ordering, so explicit deps (the
+  // paper's generated ones) remain necessary there. We only verify all
+  // tasks execute.
+  auto layer = makeOpenMPBackend(/*funcCountOrdering=*/false);
+  Recorder rec;
+  layer->run([&] {
+    for (int k = 0; k < 20; ++k) {
+      Payload p{&rec, k};
+      layer->createTask(&recordA, &p, sizeof(p), k, 0, nullptr, nullptr, 0);
+    }
+  });
+  EXPECT_EQ(rec.order.size(), 20u);
+}
+
+} // namespace
+} // namespace pipoly::tasking

@@ -1,0 +1,67 @@
+#include "sim/granularity_tuner.hpp"
+
+#include "kernels/suite.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::sim {
+namespace {
+
+TEST(GranularityTunerTest, SweepCoversGeometricFactors) {
+  scop::Scop scop = testing::listing1(20);
+  CostModel model;
+  model.iterationCost.assign(2, 1e-5);
+  model.taskOverhead = 1e-6;
+  GranularityChoice choice =
+      chooseGranularity(scop, model, SimConfig{8}, {}, 64);
+  ASSERT_GE(choice.sweep.size(), 4u);
+  EXPECT_EQ(choice.sweep[0].coarsening, 1u);
+  EXPECT_EQ(choice.sweep[1].coarsening, 2u);
+  // Task counts decrease monotonically along the sweep.
+  for (std::size_t k = 1; k < choice.sweep.size(); ++k)
+    EXPECT_LE(choice.sweep[k].tasks, choice.sweep[k - 1].tasks);
+}
+
+TEST(GranularityTunerTest, BestIsMinimalMakespanOfSweep) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"), 16);
+  CostModel model;
+  model.iterationCost.assign(scop.numStatements(), 5e-6);
+  model.taskOverhead = 2e-6; // overhead-heavy regime
+  GranularityChoice choice = chooseGranularity(scop, model, SimConfig{8});
+  for (const GranularityCandidate& c : choice.sweep)
+    EXPECT_LE(choice.best.makespan, c.makespan + 1e-12);
+}
+
+TEST(GranularityTunerTest, OverheadHeavyRegimePrefersCoarser) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"), 24);
+  CostModel cheap;
+  cheap.iterationCost.assign(scop.numStatements(), 1e-6);
+  cheap.taskOverhead = 5e-6; // overhead dominates tiny iterations
+  GranularityChoice overheadHeavy =
+      chooseGranularity(scop, cheap, SimConfig{8});
+  EXPECT_GT(overheadHeavy.best.coarsening, 1u)
+      << "with dominant task overhead, factor 1 cannot be optimal";
+
+  CostModel expensive;
+  expensive.iterationCost.assign(scop.numStatements(), 1e-3);
+  expensive.taskOverhead = 1e-7;
+  GranularityChoice workHeavy =
+      chooseGranularity(scop, expensive, SimConfig{8});
+  EXPECT_LE(workHeavy.best.coarsening, overheadHeavy.best.coarsening);
+}
+
+TEST(GranularityTunerTest, RespectsBaseOptions) {
+  scop::Scop scop = testing::listing3(14);
+  CostModel model;
+  model.iterationCost.assign(3, 1e-5);
+  pipeline::DetectOptions base;
+  base.relaxSameNestOrdering = true;
+  GranularityChoice choice =
+      chooseGranularity(scop, model, SimConfig{8}, base, 16);
+  EXPECT_GE(choice.sweep.size(), 1u);
+  EXPECT_GT(choice.best.tasks, 0u);
+}
+
+} // namespace
+} // namespace pipoly::sim

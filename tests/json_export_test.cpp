@@ -1,0 +1,60 @@
+#include "codegen/json_export.hpp"
+
+#include "codegen/task_program.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::codegen {
+namespace {
+
+TEST(JsonExportTest, ContainsExpectedFields) {
+  scop::Scop scop = testing::listing1(12);
+  TaskProgram prog = compilePipeline(scop);
+  std::string json = toJson(prog, scop);
+  for (const char* needle :
+       {"\"scop\": \"listing1\"", "\"statements\":", "\"tasks\":",
+        "\"chainOrdering\": true", "\"name\": \"S\"", "\"name\": \"R\"",
+        "\"deps\":", "\"self\": true"})
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "missing '" << needle << "'";
+}
+
+TEST(JsonExportTest, TaskCountMatches) {
+  scop::Scop scop = testing::listing3(12);
+  TaskProgram prog = compilePipeline(scop);
+  std::string json = toJson(prog, scop);
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("{\"id\": ", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, prog.tasks.size());
+}
+
+TEST(JsonExportTest, BalancedBracesAndBrackets) {
+  scop::Scop scop = testing::chain(3, 8);
+  TaskProgram prog = compilePipeline(scop);
+  std::string json = toJson(prog, scop);
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(JsonExportTest, RelaxedOrderingFlag) {
+  scop::Scop scop = testing::listing1(12);
+  pipeline::DetectOptions opt;
+  opt.relaxSameNestOrdering = true;
+  TaskProgram prog = compilePipeline(scop, opt);
+  std::string json = toJson(prog, scop);
+  EXPECT_NE(json.find("\"chainOrdering\": false"), std::string::npos);
+}
+
+} // namespace
+} // namespace pipoly::codegen

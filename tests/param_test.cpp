@@ -1,0 +1,174 @@
+// The parametric layer: parameter-affine sets/maps, their instantiation
+// onto the explicit machinery, and the closed-form symbolic pipeline map
+// of §4.1 (including the paper's exact Listing-1 formula, kept symbolic
+// in N and instantiated for many values).
+
+#include "pipeline/parametric.hpp"
+
+#include "pipeline/pipeline_map.hpp"
+#include "presburger/param.hpp"
+#include "support/assert.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::pb {
+namespace {
+
+TEST(ParamExprTest, EvaluateAndAlgebra) {
+  ParamExpr n = ParamExpr::param("N");
+  ParamExpr e = 2 * n + ParamExpr(-3); // 2N - 3
+  EXPECT_EQ(e.evaluate({{"N", 10}}), 17);
+  EXPECT_EQ((e - e).evaluate({{"N", 5}}), 0);
+  EXPECT_EQ((e + ParamExpr::param("M")).evaluate({{"N", 1}, {"M", 4}}), 3);
+  EXPECT_TRUE(ParamExpr(7).isConstant());
+  EXPECT_FALSE(n.isConstant());
+}
+
+TEST(ParamExprTest, UnboundParameterThrows) {
+  ParamExpr n = ParamExpr::param("N");
+  EXPECT_THROW((void)n.evaluate({}), Error);
+}
+
+TEST(ParamExprTest, ToString) {
+  ParamExpr e = 2 * ParamExpr::param("N") + ParamExpr(-1);
+  EXPECT_EQ(e.toString(), "2*N - 1");
+  EXPECT_EQ(ParamExpr(0).toString(), "0");
+  EXPECT_EQ((ParamExpr(0) - ParamExpr::param("N")).toString(), "-N");
+}
+
+TEST(ParamSetTest, InstantiationMatchesParser) {
+  // { S[i,j] : 0 <= i < N-1 and 0 <= j <= i }
+  ParamSet set(Space("S", 2), {"i", "j"});
+  set.bound(0, ParamExpr(0), ParamExpr::param("N") + ParamExpr(-1));
+  ParamConstraint tri;
+  tri.dimCoeffs = {1, -1}; // i - j >= 0
+  tri.paramPart = ParamExpr(0);
+  set.add(tri);
+  set.bound(1, ParamExpr(0), ParamExpr::param("N") + ParamExpr(-1));
+
+  for (Value n : {5, 8, 12}) {
+    IntTupleSet expected = parseSet(
+        "{ S[i, j] : 0 <= i < N - 1 and 0 <= j <= i and j < N - 1 }",
+        {{"N", n}});
+    EXPECT_EQ(set.points({{"N", n}}), expected) << "N=" << n;
+  }
+}
+
+TEST(ParamSetTest, ToStringNamesDims) {
+  ParamSet set(Space("S", 1), {"i"});
+  set.bound(0, ParamExpr(0), ParamExpr::param("N"));
+  std::string text = set.toString();
+  EXPECT_NE(text.find("S[i]"), std::string::npos);
+  EXPECT_NE(text.find("i >= 0"), std::string::npos);
+  EXPECT_NE(text.find("N - 1 >= 0"), std::string::npos);
+}
+
+TEST(ParamSetTest, ToStringRoundTripsThroughTheParser) {
+  // The rendered constraint form is valid input for the isl-style set
+  // parser; re-parsing under the same bindings yields the same points.
+  ParamSet set(Space("S", 2), {"i", "j"});
+  set.bound(0, ParamExpr(0), ParamExpr::param("N"));
+  set.bound(1, ParamExpr(1), 2 * ParamExpr::param("N") + ParamExpr(-3));
+  ParamConstraint coupling;
+  coupling.dimCoeffs = {1, -1}; // i >= j
+  coupling.paramPart = ParamExpr(0);
+  set.add(coupling);
+
+  for (Value n : {4, 7, 10}) {
+    ParamBindings bindings{{"N", n}};
+    IntTupleSet direct = set.points(bindings);
+    IntTupleSet reparsed = parseSet(set.toString(), bindings);
+    EXPECT_EQ(direct, reparsed) << "N=" << n << "\n" << set.toString();
+  }
+}
+
+} // namespace
+} // namespace pipoly::pb
+
+namespace pipoly::pipeline {
+namespace {
+
+using pb::ParamExpr;
+using pb::Value;
+
+/// Listing 1 in parametric form: S over [0, N-1)^2, R over [0, M-1)^2
+/// reading A[i][2j] (M plays N/2; bound at instantiation).
+struct Listing1Param {
+  ParamRectStatement source{
+      "S",
+      {{ParamExpr(0), ParamExpr::param("N") + ParamExpr(-1)},
+       {ParamExpr(0), ParamExpr::param("N") + ParamExpr(-1)}}};
+  ParamRectStatement target{
+      "R",
+      {{ParamExpr(0), ParamExpr::param("M") + ParamExpr(-1)},
+       {ParamExpr(0), ParamExpr::param("M") + ParamExpr(-1)}}};
+  SeparableRead read{{1, 2}, {0, 0}};
+};
+
+TEST(ParametricPipelineTest, InstantiationsMatchExplicitPath) {
+  Listing1Param p;
+  pb::ParamMap symbolic = parametricPipelineMap(p.source, p.target, p.read);
+  for (Value n : {12, 16, 20, 26}) {
+    scop::Scop scop = testing::listing1(n);
+    pb::IntMap instantiated =
+        symbolic.instantiate({{"N", n}, {"M", n / 2}});
+    EXPECT_EQ(instantiated, pipelineMap(scop, 0, 1)) << "N=" << n;
+  }
+}
+
+TEST(ParametricPipelineTest, SymbolicFormulaShape) {
+  // The printed formula carries the paper's structure: i1 = 2 o1 (modulo
+  // formatting) and symbolic bounds in N and M.
+  Listing1Param p;
+  std::string text =
+      parametricPipelineMap(p.source, p.target, p.read).toString();
+  EXPECT_NE(text.find("S[i0, i1] -> R[o0, o1]"), std::string::npos) << text;
+  EXPECT_NE(text.find("i1 - 2*o1 = 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("N"), std::string::npos);
+  EXPECT_NE(text.find("M"), std::string::npos);
+}
+
+TEST(ParametricPipelineTest, OffsetReads) {
+  // Read A[j0 + 1][j1 + 2]: source must run one row and two columns
+  // ahead.
+  ParamRectStatement src{
+      "S",
+      {{ParamExpr(0), ParamExpr::param("N")},
+       {ParamExpr(0), ParamExpr::param("N")}}};
+  ParamRectStatement tgt{
+      "T",
+      {{ParamExpr(0), ParamExpr::param("N") + ParamExpr(-1)},
+       {ParamExpr(0), ParamExpr::param("N") + ParamExpr(-2)}}};
+  SeparableRead read{{1, 1}, {1, 2}};
+  pb::ParamMap symbolic = parametricPipelineMap(src, tgt, read);
+
+  for (Value n : {6, 9}) {
+    scop::ScopBuilder b("offset");
+    std::size_t A = b.array("A", {n + 2, n + 2});
+    std::size_t B = b.array("B", {n + 2, n + 2});
+    auto S = b.statement("S", 2);
+    S.bound(0, 0, n).bound(1, 0, n);
+    S.write(A, {S.dim(0), S.dim(1)});
+    auto T = b.statement("T", 2);
+    T.bound(0, 0, n - 1).bound(1, 0, n - 2);
+    T.write(B, {T.dim(0), T.dim(1)});
+    T.read(A, {T.dim(0) + 1, T.dim(1) + 2});
+    scop::Scop scop = b.build();
+    EXPECT_EQ(symbolic.instantiate({{"N", n}}), pipelineMap(scop, 0, 1))
+        << "N=" << n;
+  }
+}
+
+TEST(ParametricPipelineTest, RejectsBadShapes) {
+  Listing1Param p;
+  SeparableRead zeroCoeff{{0, 1}, {0, 0}};
+  EXPECT_THROW(
+      (void)parametricPipelineMap(p.source, p.target, zeroCoeff), Error);
+  SeparableRead wrongArity{{1}, {0}};
+  EXPECT_THROW(
+      (void)parametricPipelineMap(p.source, p.target, wrongArity), Error);
+}
+
+} // namespace
+} // namespace pipoly::pipeline

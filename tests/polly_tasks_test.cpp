@@ -1,0 +1,74 @@
+#include "baselines/polly_tasks.hpp"
+
+#include "baselines/polly_like.hpp"
+#include "kernels/matmul.hpp"
+#include "sim/simulator.hpp"
+#include "tasking/tasking.hpp"
+#include "testing/fixtures.hpp"
+#include "verify/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::baselines {
+namespace {
+
+TEST(PollyTasksTest, SerialNestsBecomeOneTaskEach) {
+  scop::Scop scop = testing::listing1(12);
+  codegen::TaskProgram prog = pollyTaskProgram(scop, 8);
+  EXPECT_EQ(prog.tasks.size(), 2u); // both nests are serial
+  EXPECT_NO_THROW(prog.validate(scop));
+}
+
+TEST(PollyTasksTest, ParallelNestsChunk) {
+  scop::Scop scop = kernels::matmulChain(kernels::MatmulVariant::NMM, 2, 16);
+  codegen::TaskProgram prog = pollyTaskProgram(scop, 4);
+  EXPECT_EQ(prog.tasks.size(), 8u); // 2 nests x 4 chunks
+  EXPECT_NO_THROW(prog.validate(scop));
+}
+
+TEST(PollyTasksTest, BarrierBetweenNests) {
+  scop::Scop scop = kernels::matmulChain(kernels::MatmulVariant::NMM, 2, 16);
+  codegen::TaskProgram prog = pollyTaskProgram(scop, 4);
+  for (const codegen::Task& t : prog.tasks) {
+    if (t.stmtIdx == 0)
+      EXPECT_TRUE(t.in.empty());
+    else
+      EXPECT_EQ(t.in.size(), 4u) << "each chunk waits for all 4 producers";
+  }
+}
+
+TEST(PollyTasksTest, ExecutionMatchesSequential) {
+  for (auto scop :
+       {testing::listing1(12),
+        kernels::matmulChain(kernels::MatmulVariant::NMM, 2, 10),
+        kernels::matmulChain(kernels::MatmulVariant::GNMM, 2, 10)}) {
+    codegen::TaskProgram prog = pollyTaskProgram(scop, 4);
+    auto layer = tasking::makeThreadPoolBackend(4);
+    EXPECT_TRUE(verify::selfCheck(scop, prog, *layer, 2).ok)
+        << scop.name();
+  }
+}
+
+TEST(PollyTasksTest, SimulatedTimeMatchesAnalyticModel) {
+  scop::Scop scop = kernels::matmulChain(kernels::MatmulVariant::NMM, 3, 16);
+  sim::CostModel model;
+  model.iterationCost.assign(scop.numStatements(), 1e-4);
+
+  codegen::TaskProgram prog = pollyTaskProgram(scop, 4);
+  double simulated =
+      sim::simulate(prog, model, sim::SimConfig{4}).makespan;
+  double analytic =
+      pollyLikeSchedule(scop, model, PollyConfig{4}).totalTime;
+  EXPECT_NEAR(simulated, analytic, 0.05 * analytic);
+}
+
+TEST(PollyTasksTest, MoreThreadsMoreChunksUpToRows) {
+  scop::Scop scop = kernels::matmulChain(kernels::MatmulVariant::NMM, 1, 8);
+  EXPECT_EQ(pollyTaskProgram(scop, 2).tasks.size(), 2u);
+  EXPECT_EQ(pollyTaskProgram(scop, 8).tasks.size(), 8u);
+  // Caps at the trip count of the parallel dimension (8 rows).
+  EXPECT_EQ(pollyTaskProgram(scop, 64).tasks.size(), 8u);
+}
+
+} // namespace
+} // namespace pipoly::baselines

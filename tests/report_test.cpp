@@ -1,0 +1,62 @@
+#include "pipeline/report.hpp"
+
+#include "pipeline/detect.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::pipeline {
+namespace {
+
+std::string reportFor(const scop::Scop& scop) {
+  return renderReport(scop, detectPipeline(scop));
+}
+
+TEST(ReportTest, Listing1MentionsAllParts) {
+  std::string text = reportFor(testing::listing1(20));
+  for (const char* needle :
+       {"statement S", "statement R", "serial", "pipeline S -> R",
+        "stage boundaries", "blocking (eq. 3)", "total tasks"})
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n"
+        << text;
+}
+
+TEST(ReportTest, Listing1StrideIsTwo) {
+  // The S -> R stage boundaries sit at even columns of S.
+  std::string text = reportFor(testing::listing1(20));
+  EXPECT_NE(text.find("source boundary stride (1, 2)"), std::string::npos)
+      << text;
+}
+
+TEST(ReportTest, NoPipelineCase) {
+  scop::ScopBuilder b("solo");
+  std::size_t A = b.array("A", {4});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 4).write(A, {S.dim(0)});
+  std::string text = reportFor(b.build());
+  EXPECT_NE(text.find("no cross-loop pipeline opportunities"),
+            std::string::npos);
+}
+
+TEST(ReportTest, ParallelStatementIsCalledOut) {
+  scop::ScopBuilder b("par");
+  std::size_t A = b.array("A", {4, 4});
+  std::size_t B = b.array("B", {4, 4});
+  auto S = b.statement("S", 2);
+  S.bound(0, 0, 4).bound(1, 0, 4);
+  S.write(B, {S.dim(0), S.dim(1)});
+  S.read(A, {S.dim(0), S.dim(1)});
+  std::string text = reportFor(b.build());
+  EXPECT_NE(text.find("fully parallel"), std::string::npos);
+}
+
+TEST(ReportTest, Listing3CountsThreePipelines) {
+  std::string text = reportFor(testing::listing3(16));
+  EXPECT_NE(text.find("pipeline S -> R"), std::string::npos);
+  EXPECT_NE(text.find("pipeline S -> U"), std::string::npos);
+  EXPECT_NE(text.find("pipeline R -> U"), std::string::npos);
+}
+
+} // namespace
+} // namespace pipoly::pipeline

@@ -1,0 +1,88 @@
+// Additional schedule-tree coverage: deep nests through Algorithm 2,
+// mark lookup through deep trees, and the original-schedule builder
+// against the pipelined one.
+
+#include "schedule/build.hpp"
+
+#include "pipeline/detect.hpp"
+#include "scop/builder.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::sched {
+namespace {
+
+scop::Scop depth3Scop() {
+  scop::ScopBuilder b("deep");
+  std::size_t A = b.array("A", {5, 5, 5});
+  std::size_t B = b.array("B", {5, 5, 5});
+  auto S = b.statement("S", 3);
+  S.bound(0, 0, 4).bound(1, 0, 4).bound(2, 0, 4);
+  S.write(A, {S.dim(0), S.dim(1), S.dim(2)});
+  S.read(A, {S.dim(0), S.dim(1), S.dim(2) + 1});
+  auto T = b.statement("T", 3);
+  T.bound(0, 0, 4).bound(1, 0, 4).bound(2, 0, 4);
+  T.write(B, {T.dim(0), T.dim(1), T.dim(2)});
+  T.read(A, {T.dim(0), T.dim(1), T.dim(2)});
+  T.read(B, {T.dim(0), T.dim(1), T.dim(2) + 1});
+  return b.build();
+}
+
+TEST(ScheduleExtraTest, Depth3TreesValidateAndFlatten) {
+  scop::Scop scop = depth3Scop();
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+  auto tree = buildPipelineSchedule(scop, info);
+  EXPECT_NO_THROW(validatePipelineSchedule(*tree, scop));
+
+  auto order = flattenExecutionOrder(*tree);
+  std::size_t expected =
+      scop.statement(0).domain().size() + scop.statement(1).domain().size();
+  EXPECT_EQ(order.size(), expected);
+  // Per-statement original order preserved at depth 3 as well.
+  std::vector<pb::Tuple> sFirst;
+  for (auto& [stmt, it] : order)
+    if (stmt == 0)
+      sFirst.push_back(it);
+  EXPECT_EQ(sFirst, scop.statement(0).domain().points());
+}
+
+TEST(ScheduleExtraTest, FindMarkReachesEveryStatementSubtree) {
+  scop::Scop scop = testing::listing3(12);
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+  auto tree = buildPipelineSchedule(scop, info);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const ScheduleNode* mark = tree->child(s).findMark(kPipelineMarkId);
+    ASSERT_NE(mark, nullptr);
+    EXPECT_EQ(mark->markInfo().stmtIdx, s);
+  }
+}
+
+TEST(ScheduleExtraTest, OriginalVsPipelinedStructure) {
+  scop::Scop scop = testing::listing1(12);
+  auto original = buildOriginalSchedule(scop);
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+  auto pipelined = buildPipelineSchedule(scop, info);
+
+  // Same top-level sequence shape...
+  EXPECT_EQ(original->kind(), NodeKind::Sequence);
+  EXPECT_EQ(original->numChildren(), pipelined->numChildren());
+  // ...but the original has no expansion/mark layers.
+  EXPECT_EQ(original->findMark(kPipelineMarkId), nullptr);
+  EXPECT_NE(pipelined->findMark(kPipelineMarkId), nullptr);
+  // Original domain nodes carry the raw iteration domains (not blocks).
+  EXPECT_EQ(original->child(0).domainSet(), scop.statement(0).domain());
+  EXPECT_EQ(pipelined->child(0).domainSet(), info.statements[0].blockReps);
+}
+
+TEST(ScheduleExtraTest, PrinterShowsDepth3Bands) {
+  scop::Scop scop = depth3Scop();
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+  auto tree = buildPipelineSchedule(scop, info);
+  std::string text = tree->toString();
+  EXPECT_NE(text.find("space=S"), std::string::npos);
+  EXPECT_NE(text.find("space=T"), std::string::npos);
+}
+
+} // namespace
+} // namespace pipoly::sched

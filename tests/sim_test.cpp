@@ -1,0 +1,113 @@
+#include "sim/simulator.hpp"
+
+#include "codegen/task_program.hpp"
+#include "support/assert.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::sim {
+namespace {
+
+CostModel uniformModel(std::size_t numStatements, double cost) {
+  CostModel m;
+  m.iterationCost.assign(numStatements, cost);
+  return m;
+}
+
+TEST(SimulatorTest, SequentialTimeIsSumOfWork) {
+  scop::Scop scop = testing::chain(3, 9); // 3 nests, 9x9 iterations each
+  CostModel m = uniformModel(3, 1.0);
+  EXPECT_DOUBLE_EQ(sequentialTime(scop, m), 243.0);
+  EXPECT_DOUBLE_EQ(maxNestTime(scop, m), 81.0);
+}
+
+TEST(SimulatorTest, OneWorkerEqualsTotalWork) {
+  scop::Scop scop = testing::chain(3, 9);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel m = uniformModel(3, 1.0);
+  SimResult r = simulate(prog, m, SimConfig{1});
+  EXPECT_DOUBLE_EQ(r.makespan, r.totalWork);
+  EXPECT_DOUBLE_EQ(r.totalWork, sequentialTime(scop, m));
+}
+
+TEST(SimulatorTest, PaperEquation5Bounds) {
+  // time(L_max) <= time(pipeline) <= time(sequential) for several kernels
+  // and worker counts.
+  for (auto scop : {testing::chain(4, 9), testing::listing3(16)}) {
+    codegen::TaskProgram prog = codegen::compilePipeline(scop);
+    CostModel m = uniformModel(scop.numStatements(), 1.0);
+    for (unsigned workers : {2u, 4u, 8u}) {
+      SimResult r = simulate(prog, m, SimConfig{workers});
+      EXPECT_GE(r.makespan, maxNestTime(scop, m) - 1e-9);
+      EXPECT_LE(r.makespan, sequentialTime(scop, m) + 1e-9);
+    }
+  }
+}
+
+TEST(SimulatorTest, PipeliningBeatsSequentialOnChains) {
+  // A chain of equal nests with element-wise coupling overlaps almost
+  // completely: the makespan with enough workers approaches
+  // time(L_max) plus the pipeline fill.
+  scop::Scop scop = testing::chain(4, 15);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel m = uniformModel(4, 1.0);
+  SimResult r = simulate(prog, m, SimConfig{8});
+  const double seq = sequentialTime(scop, m);
+  EXPECT_LT(r.makespan, 0.55 * seq) << "expected >1.8x speedup on a 4-chain";
+}
+
+TEST(SimulatorTest, MoreWorkersNeverSlower) {
+  scop::Scop scop = testing::listing3(16);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel m = uniformModel(3, 1.0);
+  double prev = simulate(prog, m, SimConfig{1}).makespan;
+  for (unsigned workers : {2u, 3u, 4u, 8u}) {
+    double cur = simulate(prog, m, SimConfig{workers}).makespan;
+    EXPECT_LE(cur, prev + 1e-9) << workers << " workers";
+    prev = cur;
+  }
+}
+
+TEST(SimulatorTest, MakespanAtLeastCriticalPath) {
+  scop::Scop scop = testing::listing3(16);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel m = uniformModel(3, 1.0);
+  for (unsigned workers : {1u, 2u, 8u}) {
+    SimResult r = simulate(prog, m, SimConfig{workers});
+    EXPECT_GE(r.makespan, r.criticalPath - 1e-9);
+  }
+}
+
+TEST(SimulatorTest, TaskOverheadIncreasesMakespan) {
+  scop::Scop scop = testing::chain(3, 9);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel cheap = uniformModel(3, 1.0);
+  CostModel costly = cheap;
+  costly.taskOverhead = 0.5;
+  EXPECT_GT(simulate(prog, costly, SimConfig{4}).makespan,
+            simulate(prog, cheap, SimConfig{4}).makespan);
+}
+
+TEST(SimulatorTest, UtilizationBounded) {
+  scop::Scop scop = testing::chain(4, 9);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel m = uniformModel(4, 1.0);
+  SimResult r = simulate(prog, m, SimConfig{4});
+  EXPECT_GT(r.utilization(), 0.0);
+  EXPECT_LE(r.utilization(), 1.0 + 1e-9);
+}
+
+TEST(SimulatorTest, HeterogeneousCostsShiftTheBottleneck) {
+  // Make the last nest dominant; the makespan must be at least its time
+  // (eq. 5's L_max bound) even with many workers.
+  scop::Scop scop = testing::chain(3, 9);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  CostModel m;
+  m.iterationCost = {1.0, 1.0, 10.0};
+  SimResult r = simulate(prog, m, SimConfig{8});
+  EXPECT_GE(r.makespan, maxNestTime(scop, m) - 1e-9);
+}
+
+} // namespace
+} // namespace pipoly::sim

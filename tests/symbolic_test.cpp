@@ -1,0 +1,124 @@
+// The symbolic fast path must be bit-identical to the explicit pipeline
+// map wherever it applies.
+
+#include "pipeline/symbolic.hpp"
+
+#include "kernels/matmul.hpp"
+#include "kernels/suite.hpp"
+#include "pipeline/pipeline_map.hpp"
+#include "scop/builder.hpp"
+#include "support/rng.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::pipeline {
+namespace {
+
+void expectFastMatchesExplicit(const scop::Scop& scop, std::size_t s,
+                               std::size_t t) {
+  auto fast = trySymbolicPipelineMap(scop, s, t);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(*fast, pipelineMap(scop, s, t))
+      << "pair (" << s << ", " << t << ") in " << scop.name();
+}
+
+TEST(SymbolicPipelineTest, AppliesToListing1) {
+  scop::Scop scop = testing::listing1(20);
+  EXPECT_TRUE(symbolicPipelineApplies(scop, 0, 1));
+  expectFastMatchesExplicit(scop, 0, 1);
+}
+
+TEST(SymbolicPipelineTest, AppliesToListing3AllPairs) {
+  scop::Scop scop = testing::listing3(16);
+  for (auto [s, t] : {std::pair<std::size_t, std::size_t>{0, 1},
+                      {0, 2},
+                      {1, 2}})
+    expectFastMatchesExplicit(scop, s, t);
+}
+
+TEST(SymbolicPipelineTest, AppliesToWholeTable9Suite) {
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, 14);
+    for (std::size_t t = 1; t < scop.numStatements(); ++t)
+      for (std::size_t s = 0; s < t; ++s) {
+        auto fast = trySymbolicPipelineMap(scop, s, t);
+        ASSERT_TRUE(fast.has_value()) << spec.name;
+        EXPECT_EQ(*fast, pipelineMap(scop, s, t))
+            << spec.name << " pair (" << s << ", " << t << ")";
+      }
+  }
+}
+
+TEST(SymbolicPipelineTest, AppliesToMatmulRowReads) {
+  for (auto v : {kernels::MatmulVariant::NMM, kernels::MatmulVariant::GNMM}) {
+    scop::Scop scop = kernels::matmulChain(v, 3, 10);
+    for (std::size_t t = 1; t < scop.numStatements(); ++t)
+      expectFastMatchesExplicit(scop, t - 1, t);
+  }
+}
+
+TEST(SymbolicPipelineTest, RejectsNonIdentityWrites) {
+  scop::ScopBuilder b("shiftwrite");
+  std::size_t A = b.array("A", {10});
+  std::size_t B = b.array("B", {10});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 8);
+  S.write(A, {S.dim(0) + 1}); // shifted, not the identity
+  auto T = b.statement("T", 1);
+  T.bound(0, 1, 9);
+  T.write(B, {T.dim(0)});
+  T.read(A, {T.dim(0)});
+  scop::Scop scop = b.build();
+  EXPECT_FALSE(symbolicPipelineApplies(scop, 0, 1));
+  EXPECT_EQ(trySymbolicPipelineMap(scop, 0, 1), std::nullopt);
+  // The explicit path still handles it.
+  EXPECT_FALSE(pipelineMap(scop, 0, 1).empty());
+}
+
+TEST(SymbolicPipelineTest, RandomSeparablePatternsAgree) {
+  SplitMix64 rng(4242);
+  for (int round = 0; round < 12; ++round) {
+    const pb::Value n = 6 + static_cast<pb::Value>(rng.nextBelow(5));
+    scop::ScopBuilder b("rand");
+    std::size_t A = b.array("A", {4 * n, 4 * n});
+    std::size_t B = b.array("B", {4 * n, 4 * n});
+    auto S = b.statement("S", 2);
+    S.bound(0, 0, n).bound(1, 0, n);
+    S.write(A, {S.dim(0), S.dim(1)});
+    auto T = b.statement("T", 2);
+    T.bound(0, 0, n).bound(1, 0, n);
+    T.write(B, {T.dim(0), T.dim(1)});
+    const int numReads = 1 + static_cast<int>(rng.nextBelow(3));
+    for (int r = 0; r < numReads; ++r) {
+      pb::Value ci = static_cast<pb::Value>(rng.nextBelow(3));
+      pb::Value cj = static_cast<pb::Value>(rng.nextBelow(3));
+      pb::Value oi = static_cast<pb::Value>(rng.nextBelow(3));
+      pb::Value oj = static_cast<pb::Value>(rng.nextBelow(3));
+      // Cross terms on purpose — the scan handles non-separable too.
+      T.read(A, {ci * T.dim(0) + cj * T.dim(1) + oi,
+                 cj * T.dim(1) + oj});
+    }
+    scop::Scop scop = b.build();
+    auto fast = trySymbolicPipelineMap(scop, 0, 1);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(*fast, pipelineMap(scop, 0, 1)) << "round " << round;
+  }
+}
+
+TEST(SymbolicPipelineTest, EmptyWhenNoSharedArrays) {
+  scop::ScopBuilder b("nodep");
+  std::size_t A = b.array("A", {4});
+  std::size_t B = b.array("B", {4});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 4).write(A, {S.dim(0)});
+  auto T = b.statement("T", 1);
+  T.bound(0, 0, 4).write(B, {T.dim(0)});
+  scop::Scop scop = b.build();
+  auto fast = trySymbolicPipelineMap(scop, 0, 1);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_TRUE(fast->empty());
+}
+
+} // namespace
+} // namespace pipoly::pipeline

@@ -1,0 +1,201 @@
+#include "tasking/tasking.hpp"
+
+#include "codegen/task_program.hpp"
+#include "support/assert.hpp"
+#include "tasking/executor.hpp"
+#include "testing/fixtures.hpp"
+#include "testing/interpreted_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace pipoly::tasking {
+namespace {
+
+std::vector<std::unique_ptr<TaskingLayer>> allBackends() {
+  std::vector<std::unique_ptr<TaskingLayer>> layers;
+  layers.push_back(makeSerialBackend());
+  layers.push_back(makeThreadPoolBackend(4));
+  if (auto omp = makeOpenMPBackend())
+    layers.push_back(std::move(omp));
+  return layers;
+}
+
+struct Payload {
+  std::atomic<int>* counter;
+  int expectedBefore;
+};
+
+void checkAndBump(void* raw) {
+  auto* p = static_cast<Payload*>(raw);
+  EXPECT_GE(p->counter->fetch_add(1), p->expectedBefore);
+}
+
+TEST(TaskingLayerTest, OpenMPBackendIsAvailableInThisBuild) {
+  // The build links OpenMP; the paper's primary backend must exist.
+  EXPECT_TRUE(openMPAvailable());
+  EXPECT_NE(makeOpenMPBackend(), nullptr);
+}
+
+TEST(TaskingLayerTest, ChainedDependenciesRunInOrder) {
+  for (auto& layer : allBackends()) {
+    std::atomic<int> counter{0};
+    layer->run([&] {
+      // Chain: task k depends on slot of task k-1.
+      for (int k = 0; k < 20; ++k) {
+        Payload p{&counter, k};
+        std::int64_t inDep = k - 1;
+        int inIdx = 0;
+        layer->createTask(&checkAndBump, &p, sizeof(p),
+                          /*outDepend=*/k, /*outIdx=*/0,
+                          k > 0 ? &inDep : nullptr, k > 0 ? &inIdx : nullptr,
+                          k > 0 ? 1u : 0u);
+      }
+    });
+    EXPECT_EQ(counter.load(), 20) << layer->name();
+  }
+}
+
+TEST(TaskingLayerTest, CreateTaskOutsideRunThrows) {
+  // OpenMP backend cannot detect this cheaply in a parallel-safe way on
+  // all runtimes, but serial and threadpool must.
+  auto serial = makeSerialBackend();
+  Payload p{nullptr, 0};
+  EXPECT_THROW(serial->createTask(&checkAndBump, &p, sizeof(p), 0, 0, nullptr,
+                                  nullptr, 0),
+               Error);
+  auto pool = makeThreadPoolBackend(2);
+  EXPECT_THROW(pool->createTask(&checkAndBump, &p, sizeof(p), 0, 0, nullptr,
+                                nullptr, 0),
+               Error);
+}
+
+TEST(TaskingLayerTest, InputIsCopiedAtCreation) {
+  // The paper's Fig. 8 memcpy: mutating the input struct after createTask
+  // must not affect the task.
+  for (auto& layer : allBackends()) {
+    static std::atomic<int> observed;
+    observed = -1;
+    struct Value {
+      int v;
+    };
+    auto fn = +[](void* raw) { observed = static_cast<Value*>(raw)->v; };
+    layer->run([&] {
+      Value val{7};
+      layer->createTask(fn, &val, sizeof(val), 0, 0, nullptr, nullptr, 0);
+      val.v = 99; // must not be visible to the task
+    });
+    EXPECT_EQ(observed.load(), 7) << layer->name();
+  }
+}
+
+TEST(TaskingLayerTest, UnpublishedSlotIsImmediatelyReady) {
+  for (auto& layer : allBackends()) {
+    std::atomic<int> counter{0};
+    layer->run([&] {
+      Payload p{&counter, 0};
+      std::int64_t dep = 12345; // nobody publishes this slot
+      int idx = 3;
+      layer->createTask(&checkAndBump, &p, sizeof(p), 0, 0, &dep, &idx, 1);
+    });
+    EXPECT_EQ(counter.load(), 1) << layer->name();
+  }
+}
+
+/// Records, for every executed task, the set of tasks finished before it
+/// started; used to verify dependency enforcement on parallel backends.
+struct OrderRecorder {
+  std::mutex mutex;
+  std::set<std::int64_t> finished;
+  bool violation = false;
+};
+
+struct OrderedPayload {
+  OrderRecorder* rec;
+  std::int64_t self;
+  std::int64_t requires0; // -1 = none
+  std::int64_t requires1; // -1 = none
+};
+
+void orderedBody(void* raw) {
+  auto* p = static_cast<OrderedPayload*>(raw);
+  std::lock_guard lock(p->rec->mutex);
+  if (p->requires0 >= 0 && !p->rec->finished.count(p->requires0))
+    p->rec->violation = true;
+  if (p->requires1 >= 0 && !p->rec->finished.count(p->requires1))
+    p->rec->violation = true;
+  p->rec->finished.insert(p->self);
+}
+
+TEST(TaskingLayerTest, CrossSlotDependenciesEnforced) {
+  for (auto& layer : allBackends()) {
+    OrderRecorder rec;
+    layer->run([&] {
+      // Two producer chains on idx 0 and idx 1, plus consumers on idx 2
+      // depending on both.
+      for (std::int64_t k = 0; k < 10; ++k) {
+        for (int chain = 0; chain < 2; ++chain) {
+          OrderedPayload p{&rec, chain * 100 + k,
+                           k > 0 ? chain * 100 + (k - 1) : -1, -1};
+          std::int64_t inDep = k - 1;
+          int inIdx = chain;
+          layer->createTask(&orderedBody, &p, sizeof(p), k, chain,
+                            k > 0 ? &inDep : nullptr,
+                            k > 0 ? &inIdx : nullptr, k > 0 ? 1u : 0u);
+        }
+      }
+      for (std::int64_t k = 0; k < 10; ++k) {
+        OrderedPayload p{&rec, 200 + k, 0 * 100 + k, 1 * 100 + k};
+        std::int64_t inDeps[2] = {k, k};
+        int inIdxs[2] = {0, 1};
+        layer->createTask(&orderedBody, &p, sizeof(p), k, 2, inDeps, inIdxs,
+                          2);
+      }
+    });
+    EXPECT_FALSE(rec.violation) << layer->name();
+    EXPECT_EQ(rec.finished.size(), 30u) << layer->name();
+  }
+}
+
+class EndToEndTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEndTest, PipelinedExecutionMatchesSequential) {
+  const int which = GetParam();
+  scop::Scop scop = which == 0   ? testing::listing1(14)
+                    : which == 1 ? testing::listing3(14)
+                    : which == 2 ? testing::chain(3, 9)
+                                 : testing::chain(5, 7);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  const std::uint64_t expected = testing::sequentialFingerprint(scop);
+  for (auto& layer : allBackends()) {
+    testing::InterpretedKernel kernel(scop);
+    executeTaskProgram(prog, *layer, kernel.executor());
+    EXPECT_EQ(kernel.fingerprint(), expected)
+        << "backend " << layer->name() << " produced different results";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, EndToEndTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(EndToEndTest, RepeatedRunsAreDeterministic) {
+  scop::Scop scop = testing::listing3(12);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  auto layer = makeThreadPoolBackend(4);
+  std::uint64_t first = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    testing::InterpretedKernel kernel(scop);
+    executeTaskProgram(prog, *layer, kernel.executor());
+    if (rep == 0)
+      first = kernel.fingerprint();
+    else
+      EXPECT_EQ(kernel.fingerprint(), first) << "rep " << rep;
+  }
+}
+
+} // namespace
+} // namespace pipoly::tasking

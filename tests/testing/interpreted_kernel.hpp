@@ -1,0 +1,15 @@
+#pragma once
+
+// Thin forwarder: the interpreted-execution oracle graduated into the
+// library proper (src/verify/oracle.hpp) so downstream users can verify
+// their own integrations; the tests keep their historical include path
+// and names.
+
+#include "verify/oracle.hpp"
+
+namespace pipoly::testing {
+
+using verify::InterpretedKernel;
+using verify::sequentialFingerprint;
+
+} // namespace pipoly::testing

@@ -1,0 +1,136 @@
+#include "runtime/thread_pool.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace pipoly::rt {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  DependencyThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] { ++count; }, {});
+  pool.waitAll();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, HonorsDependencies) {
+  DependencyThreadPool pool(4);
+  std::atomic<int> stage{0};
+  auto a = pool.submit(
+      [&] {
+        int expected = 0;
+        EXPECT_TRUE(stage.compare_exchange_strong(expected, 1));
+      },
+      {});
+  std::vector<DependencyThreadPool::TaskId> deps{a};
+  auto b = pool.submit(
+      [&] {
+        int expected = 1;
+        EXPECT_TRUE(stage.compare_exchange_strong(expected, 2));
+      },
+      deps);
+  std::vector<DependencyThreadPool::TaskId> deps2{b};
+  pool.submit(
+      [&] {
+        int expected = 2;
+        EXPECT_TRUE(stage.compare_exchange_strong(expected, 3));
+      },
+      deps2);
+  pool.waitAll();
+  EXPECT_EQ(stage.load(), 3);
+}
+
+TEST(ThreadPoolTest, DiamondDependency) {
+  DependencyThreadPool pool(4);
+  std::atomic<int> order{0};
+  std::atomic<int> leftDone{0}, rightDone{0};
+  auto top = pool.submit([&] { order = 1; }, {});
+  std::vector<DependencyThreadPool::TaskId> fromTop{top};
+  auto left = pool.submit([&] { leftDone = 1; }, fromTop);
+  auto right = pool.submit([&] { rightDone = 1; }, fromTop);
+  std::vector<DependencyThreadPool::TaskId> both{left, right};
+  pool.submit(
+      [&] {
+        EXPECT_EQ(leftDone.load(), 1);
+        EXPECT_EQ(rightDone.load(), 1);
+      },
+      both);
+  pool.waitAll();
+}
+
+TEST(ThreadPoolTest, DependencyOnFinishedTask) {
+  DependencyThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto a = pool.submit([&] { value = 42; }, {});
+  pool.waitAll();
+  std::vector<DependencyThreadPool::TaskId> deps{a};
+  pool.submit([&] { EXPECT_EQ(value.load(), 42); }, deps);
+  pool.waitAll();
+}
+
+TEST(ThreadPoolTest, ForwardOnlyDependenciesEnforced) {
+  DependencyThreadPool pool(1);
+  std::vector<DependencyThreadPool::TaskId> bogus{42};
+  EXPECT_THROW((void)pool.submit([] {}, bogus), Error);
+  // Leave the pool in a sane state.
+  pool.waitAll();
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromWaitAll) {
+  DependencyThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); }, {});
+  pool.submit([] {}, {});
+  EXPECT_THROW(pool.waitAll(), std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> ok{0};
+  pool.submit([&] { ok = 1; }, {});
+  pool.waitAll();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPoolTest, StressRandomDag) {
+  DependencyThreadPool pool(8);
+  SplitMix64 rng(7);
+  const std::size_t n = 500;
+  std::vector<std::atomic<bool>> done(n);
+  std::vector<std::vector<DependencyThreadPool::TaskId>> allDeps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& deps = allDeps[i];
+    for (std::size_t k = 0; k < rng.nextBelow(4) && i > 0; ++k)
+      deps.push_back(rng.nextBelow(i));
+    pool.submit(
+        [&, i, deps] {
+          for (auto d : deps)
+            EXPECT_TRUE(done[d].load()) << "task " << i << " ran before dep "
+                                        << d;
+          done[i].store(true);
+        },
+        allDeps[i]);
+  }
+  pool.waitAll();
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_TRUE(done[i].load());
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  DependencyThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::vector<DependencyThreadPool::TaskId> prev;
+  for (int i = 0; i < 50; ++i) {
+    auto id = pool.submit([&] { ++count; }, prev);
+    prev = {id};
+  }
+  pool.waitAll();
+  EXPECT_EQ(count.load(), 50);
+}
+
+} // namespace
+} // namespace pipoly::rt

@@ -1,0 +1,87 @@
+#include "tasking/timing_layer.hpp"
+
+#include "codegen/task_program.hpp"
+#include "tasking/executor.hpp"
+#include "testing/fixtures.hpp"
+#include "testing/interpreted_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace pipoly::tasking {
+namespace {
+
+TEST(TimingLayerTest, RecordsEveryTask) {
+  scop::Scop scop = testing::listing1(10);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  testing::InterpretedKernel kernel(scop);
+  TimingLayer layer(makeThreadPoolBackend(2));
+  executeTaskProgram(prog, layer, kernel.executor());
+  EXPECT_EQ(layer.timings().size(), prog.tasks.size());
+  for (const TimedTask& t : layer.timings()) {
+    EXPECT_GE(t.start, 0.0);
+    EXPECT_GE(t.finish, t.start);
+    EXPECT_LE(t.finish, layer.lastRunSeconds() + 1e-3);
+  }
+}
+
+TEST(TimingLayerTest, PreservesExecutionSemantics) {
+  scop::Scop scop = testing::listing3(10);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  const std::uint64_t expected = testing::sequentialFingerprint(scop);
+  testing::InterpretedKernel kernel(scop);
+  TimingLayer layer(makeThreadPoolBackend(4));
+  executeTaskProgram(prog, layer, kernel.executor());
+  EXPECT_EQ(kernel.fingerprint(), expected);
+}
+
+TEST(TimingLayerTest, BusyTimeBoundedByWallTimesWorkers) {
+  scop::Scop scop = testing::listing1(10);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  testing::InterpretedKernel kernel(scop);
+  TimingLayer layer(makeThreadPoolBackend(2));
+  executeTaskProgram(prog, layer, kernel.executor());
+  EXPECT_LE(layer.totalBusySeconds(),
+            2.0 * layer.lastRunSeconds() + 1e-3);
+}
+
+TEST(TimingLayerTest, MeasurableSpinTasks) {
+  // Tasks with a known spin duration: busy time must be at least the sum
+  // of the spins.
+  TimingLayer layer(makeThreadPoolBackend(2));
+  auto spin = +[](void*) {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+    while (std::chrono::steady_clock::now() < until)
+      ;
+  };
+  int dummy = 0;
+  layer.run([&] {
+    for (int k = 0; k < 5; ++k)
+      layer.createTask(spin, &dummy, sizeof(dummy), k, 0, nullptr, nullptr,
+                       0);
+  });
+  EXPECT_EQ(layer.timings().size(), 5u);
+  EXPECT_GE(layer.totalBusySeconds(), 5 * 0.002 - 1e-3);
+}
+
+TEST(TimingLayerTest, ResetsBetweenRuns) {
+  TimingLayer layer(makeSerialBackend());
+  auto noop = +[](void*) {};
+  int dummy = 0;
+  layer.run([&] {
+    layer.createTask(noop, &dummy, sizeof(dummy), 0, 0, nullptr, nullptr, 0);
+  });
+  EXPECT_EQ(layer.timings().size(), 1u);
+  layer.run([&] {
+    for (int k = 0; k < 3; ++k)
+      layer.createTask(noop, &dummy, sizeof(dummy), k, 0, nullptr, nullptr,
+                       0);
+  });
+  EXPECT_EQ(layer.timings().size(), 3u);
+}
+
+} // namespace
+} // namespace pipoly::tasking

@@ -1,0 +1,68 @@
+#include "presburger/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace pipoly::pb {
+namespace {
+
+TEST(TupleTest, BasicAccessors) {
+  Tuple t{3, -1, 7};
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 3);
+  EXPECT_EQ(t[1], -1);
+  EXPECT_EQ(t[2], 7);
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(Tuple{}.empty());
+}
+
+TEST(TupleTest, ZerosFactory) {
+  Tuple z = Tuple::zeros(4);
+  EXPECT_EQ(z.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(z[i], 0);
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT((Tuple{0, 9}), (Tuple{1, 0}));
+  EXPECT_LT((Tuple{1, 2}), (Tuple{1, 3}));
+  EXPECT_EQ((Tuple{1, 2}), (Tuple{1, 2}));
+  EXPECT_GT((Tuple{2, 0}), (Tuple{1, 99}));
+  // Shorter prefix compares less when it is a prefix.
+  EXPECT_LT((Tuple{1}), (Tuple{1, 0}));
+}
+
+TEST(TupleTest, SortingIsLexicographic) {
+  std::vector<Tuple> v{{1, 1}, {0, 2}, {1, 0}, {0, 0}};
+  std::sort(v.begin(), v.end());
+  std::vector<Tuple> expected{{0, 0}, {0, 2}, {1, 0}, {1, 1}};
+  EXPECT_EQ(v, expected);
+}
+
+TEST(TupleTest, Concat) {
+  EXPECT_EQ(concat(Tuple{1, 2}, Tuple{3}), (Tuple{1, 2, 3}));
+  EXPECT_EQ(concat(Tuple{}, Tuple{5}), (Tuple{5}));
+}
+
+TEST(TupleTest, Slice) {
+  Tuple t{4, 5, 6, 7};
+  EXPECT_EQ(t.slice(1, 3), (Tuple{5, 6}));
+  EXPECT_EQ(t.slice(0, 0), Tuple{});
+  EXPECT_EQ(t.slice(0, 4), t);
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ((Tuple{1, -2}).toString(), "[1, -2]");
+  EXPECT_EQ(Tuple{}.toString(), "[]");
+}
+
+TEST(TupleTest, MutableAccess) {
+  Tuple t{0, 0};
+  t[1] = 42;
+  EXPECT_EQ(t, (Tuple{0, 42}));
+}
+
+} // namespace
+} // namespace pipoly::pb

@@ -1,0 +1,124 @@
+// Failure-injection tests: corrupted task programs must be rejected by
+// TaskProgram::validate. The validator is the last line of defence
+// between the polyhedral analysis and the runtime, so it has to catch
+// every class of structural damage.
+
+#include "codegen/task_program.hpp"
+
+#include "support/assert.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::codegen {
+namespace {
+
+TaskProgram freshProgram() {
+  return compilePipeline(testing::listing1(12));
+}
+
+scop::Scop fixtureScop() { return testing::listing1(12); }
+
+TEST(ValidateTest, PristineProgramPasses) {
+  EXPECT_NO_THROW(freshProgram().validate(fixtureScop()));
+}
+
+TEST(ValidateTest, RejectsDroppedSelfOrderingDependency) {
+  TaskProgram prog = freshProgram();
+  // Find a task with a self-ordering dep and drop it.
+  for (Task& t : prog.tasks) {
+    auto it = std::find_if(t.in.begin(), t.in.end(),
+                           [](const TaskDep& d) { return d.selfOrdering; });
+    if (it != t.in.end()) {
+      t.in.erase(it);
+      break;
+    }
+  }
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsDanglingInDependency) {
+  TaskProgram prog = freshProgram();
+  prog.tasks.back().in.push_back(TaskDep{0, 999999});
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsForwardDependency) {
+  TaskProgram prog = freshProgram();
+  // Make an early task depend on the last task's out slot.
+  const Task& last = prog.tasks.back();
+  prog.tasks.front().in.push_back(TaskDep{last.out.idx, last.out.tag});
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsDuplicateOutTags) {
+  TaskProgram prog = freshProgram();
+  prog.tasks[1].out = prog.tasks[0].out;
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsLostIterations) {
+  TaskProgram prog = freshProgram();
+  for (Task& t : prog.tasks) {
+    if (t.iterations.size() > 1) {
+      t.iterations.erase(t.iterations.begin());
+      break;
+    }
+  }
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsDuplicatedIterations) {
+  TaskProgram prog = freshProgram();
+  // Move an iteration from one task into another (double execution).
+  Task* donor = nullptr;
+  for (Task& t : prog.tasks)
+    if (t.stmtIdx == 0 && t.iterations.size() > 1)
+      donor = &t;
+  ASSERT_NE(donor, nullptr);
+  for (Task& t : prog.tasks) {
+    if (&t != donor && t.stmtIdx == 0) {
+      t.iterations.push_back(donor->iterations.front());
+      std::sort(t.iterations.begin(), t.iterations.end());
+      break;
+    }
+  }
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsMisorderedIterationsWithinTask) {
+  TaskProgram prog = freshProgram();
+  for (Task& t : prog.tasks) {
+    if (t.iterations.size() > 1) {
+      std::swap(t.iterations.front(), t.iterations.back());
+      break;
+    }
+  }
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsWrongBlockRepresentative) {
+  TaskProgram prog = freshProgram();
+  for (Task& t : prog.tasks) {
+    if (t.iterations.size() > 1) {
+      t.blockRep = t.iterations.front(); // must be the *last* iteration
+      break;
+    }
+  }
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+TEST(ValidateTest, RejectsWrongScop) {
+  TaskProgram prog = freshProgram();
+  EXPECT_THROW(prog.validate(testing::listing1(16)), Error);
+  EXPECT_THROW(prog.validate(testing::listing3(12)), Error);
+}
+
+TEST(ValidateTest, RejectsRenumberedIds) {
+  TaskProgram prog = freshProgram();
+  prog.tasks[2].id = 99;
+  EXPECT_THROW(prog.validate(fixtureScop()), Error);
+}
+
+} // namespace
+} // namespace pipoly::codegen

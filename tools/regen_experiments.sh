@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every artifact EXPERIMENTS.md reports: builds, runs the full
+# test suite and all benchmark binaries, teeing outputs to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
