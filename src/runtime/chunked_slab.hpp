@@ -1,0 +1,74 @@
+#pragma once
+
+// A grow-only slab with stable addresses and lock-free indexed reads.
+//
+// The thread pool's task nodes and dependency edges live here: ids are
+// dense indices handed out by an atomic counter, elements are
+// default-constructed in fixed-size chunks, and nothing is freed until
+// the slab dies. That gives three properties the executor leans on:
+//   * submit() allocates a node with one fetch_add — no per-task
+//     unique_ptr/deque churn and no global lock on the hot path;
+//   * a TaskId stays dereferenceable forever, so late dependencies on
+//     long-finished tasks are just an indexed load;
+//   * operator[] never takes a lock — the grow mutex is touched only on
+//     the (rare) first allocation inside a fresh chunk.
+
+#include "support/assert.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace pipoly::rt {
+
+template <typename T, std::size_t ChunkSizeLog2 = 10,
+          std::size_t MaxChunks = 4096>
+class ChunkedSlab {
+public:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << ChunkSizeLog2;
+
+  ChunkedSlab() = default;
+  ChunkedSlab(const ChunkedSlab&) = delete;
+  ChunkedSlab& operator=(const ChunkedSlab&) = delete;
+
+  ~ChunkedSlab() {
+    for (auto& chunk : chunks_)
+      delete[] chunk.load(std::memory_order_acquire);
+  }
+
+  /// Thread-safe: reserves the next index and makes sure its chunk
+  /// exists. The element is default-constructed (at chunk creation).
+  std::size_t allocate() {
+    const std::size_t i = count_.fetch_add(1, std::memory_order_relaxed);
+    ensureChunk(i >> ChunkSizeLog2);
+    return i;
+  }
+
+  /// Thread-safe for any index obtained from a completed allocate()
+  /// (publication of the index carries the happens-before edge).
+  T& operator[](std::size_t i) {
+    T* chunk = chunks_[i >> ChunkSizeLog2].load(std::memory_order_acquire);
+    PIPOLY_ASSERT(chunk != nullptr);
+    return chunk[i & (kChunkSize - 1)];
+  }
+
+  /// Number of indices handed out so far.
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
+
+private:
+  void ensureChunk(std::size_t c) {
+    PIPOLY_CHECK_MSG(c < MaxChunks, "ChunkedSlab capacity exhausted");
+    if (chunks_[c].load(std::memory_order_acquire) != nullptr)
+      return;
+    std::lock_guard lock(growMutex_);
+    if (chunks_[c].load(std::memory_order_relaxed) == nullptr)
+      chunks_[c].store(new T[kChunkSize](), std::memory_order_release);
+  }
+
+  std::atomic<std::size_t> count_{0};
+  std::mutex growMutex_;
+  std::array<std::atomic<T*>, MaxChunks> chunks_{};
+};
+
+} // namespace pipoly::rt

@@ -1,0 +1,103 @@
+#pragma once
+
+// A small event count: the park/unpark primitive under the
+// work-stealing executor's idle workers. It replaces the old scheduler's
+// broadcast condition variable — which woke every worker on every
+// finished task — with targeted wakeups that are a single relaxed-ish
+// atomic load when nobody sleeps.
+//
+// Worker-side protocol (the two-phase check is what makes it
+// race-free):
+//
+//   std::uint64_t ticket = ec.prepareWait();   // announce intent
+//   if (workAppeared()) { ec.cancelWait(); ... }
+//   else ec.wait(ticket);                      // sleep unless notified
+//
+// Producer side: publish work, then notifyOne(). The lost-wakeup
+// argument needs sequential consistency between the work-publication
+// store, the producer's sleeper check, and the worker's sleeper
+// announcement: if notifyOne() reads sleepers_ == 0, the worker's
+// seq_cst announcement is later in the total order, so the worker's
+// recheck (also seq_cst — the deque indices and the injection-shard
+// mutexes qualify) is guaranteed to observe the published work and
+// cancel the wait. If notifyOne() reads sleepers_ > 0, it bumps the
+// version under the mutex, which either flips the sleeping predicate or
+// arrives before the worker blocks; the condition variable handles the
+// rest. Everything slow lives behind the mutex; the hot no-sleeper path
+// is one atomic load.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace pipoly::rt {
+
+class EventCount {
+public:
+  /// Announces this thread as a prospective sleeper and returns the
+  /// ticket to pass to wait(). Must be paired with wait() or
+  /// cancelWait().
+  std::uint64_t prepareWait() {
+    std::lock_guard lock(mutex_);
+    sleepers_.store(sleepers_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_seq_cst);
+    return version_;
+  }
+
+  /// Withdraws a prepareWait() announcement (work was found on the
+  /// recheck).
+  void cancelWait() {
+    std::lock_guard lock(mutex_);
+    sleepers_.store(sleepers_.load(std::memory_order_relaxed) - 1,
+                    std::memory_order_seq_cst);
+  }
+
+  /// Blocks until a notify arrives that post-dates the ticket.
+  void wait(std::uint64_t ticket) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return version_ != ticket; });
+    sleepers_.store(sleepers_.load(std::memory_order_relaxed) - 1,
+                    std::memory_order_seq_cst);
+  }
+
+  /// How many threads are currently announced as sleepers. Advisory:
+  /// the value may be stale by the time the caller acts on it, but the
+  /// seq_cst load participates in the same total order as the sleeper
+  /// announcements, which is what the pool's wake-throttle Dekker
+  /// argument needs (see thread_pool.cpp::shouldWake).
+  std::size_t sleepersApprox() const {
+    return sleepers_.load(std::memory_order_seq_cst);
+  }
+
+  /// Wakes one parked worker, if any. Callers must publish the work
+  /// with a seq_cst store before calling (see file comment).
+  void notifyOne() {
+    if (sleepers_.load(std::memory_order_seq_cst) == 0)
+      return;
+    {
+      std::lock_guard lock(mutex_);
+      ++version_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Wakes every parked worker (shutdown).
+  void notifyAll() {
+    {
+      std::lock_guard lock(mutex_);
+      ++version_;
+    }
+    cv_.notify_all();
+  }
+
+private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t version_ = 0; // guarded by mutex_
+  // Written under mutex_, peeked lock-free by notifyOne().
+  std::atomic<std::size_t> sleepers_{0};
+};
+
+} // namespace pipoly::rt

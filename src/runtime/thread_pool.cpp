@@ -3,106 +3,329 @@
 #include "support/assert.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <optional>
 #include <utility>
 
 namespace pipoly::rt {
 
+namespace {
+
+/// Identifies the worker the current thread belongs to, if any, so
+/// makeReady() can push to the thread's own deque instead of the
+/// injection shards. Set once per worker thread; a pool's threads are
+/// joined before the pool dies, so a binding never outlives its pool.
+struct TlsBinding {
+  DependencyThreadPool* pool = nullptr;
+  unsigned index = 0;
+};
+thread_local TlsBinding tlsBinding;
+
+} // namespace
+
+DependencyThreadPool::DepEdge* DependencyThreadPool::sealedTag() {
+  // Distinct, never-dereferenced sentinel marking a finished task's
+  // dependent list.
+  static DepEdge sealed;
+  return &sealed;
+}
+
 DependencyThreadPool::DependencyThreadPool(unsigned numThreads) {
   numThreads = std::max(1u, numThreads);
+  // Wake throttle (see shouldWake). Oversubscribed pools keep their
+  // extra workers parked instead of timesharing one core.
+  const unsigned hw = std::thread::hardware_concurrency();
+  wakeCap_ = std::min(numThreads, hw != 0 ? hw : numThreads);
+  if (const char* env = std::getenv("PIPOLY_POOL_WAKE_CAP")) {
+    const long v = std::atol(env);
+    if (v > 0)
+      wakeCap_ = std::min(numThreads, static_cast<unsigned>(v));
+  }
   workers_.reserve(numThreads);
+  injection_.reserve(numThreads);
+  for (unsigned i = 0; i < numThreads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(0x9e3779b9u + i));
+    injection_.push_back(std::make_unique<InjectionShard>());
+  }
+  threads_.reserve(numThreads);
   for (unsigned i = 0; i < numThreads; ++i)
-    workers_.emplace_back([this] { workerLoop(); });
+    threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 DependencyThreadPool::~DependencyThreadPool() {
-  waitAll();
+  // Drain, but swallow unreported task errors: a destructor must not
+  // throw (the old scheduler rethrew here and would have terminated).
   {
-    std::lock_guard lock(mutex_);
-    shutdown_ = true;
+    std::unique_lock lock(doneMutex_);
+    doneCv_.wait(lock,
+                 [&] { return pending_.load(std::memory_order_acquire) == 0; });
   }
-  readyCv_.notify_all();
+  shutdown_.store(true, std::memory_order_release);
+  idle_.notifyAll();
   // jthread joins on destruction.
 }
 
 DependencyThreadPool::TaskId
 DependencyThreadPool::submit(std::function<void()> fn,
                              std::span<const TaskId> deps) {
-  std::unique_lock lock(mutex_);
-  const TaskId id = nodes_.size();
-  auto node = std::make_unique<Node>();
-  node->fn = std::move(fn);
+  // Validate against the published id horizon *before* reserving a node,
+  // so a rejected submit leaves no half-armed task behind. Any id >= the
+  // current count cannot come from a submit() that happened-before this
+  // one: it is a self-, forward- or out-of-range dependency.
+  const std::size_t horizon = nodes_.size();
+  for (TaskId dep : deps)
+    PIPOLY_CHECK_MSG(dep < horizon,
+                     "dependency on a not-yet-submitted task (self-, forward- "
+                     "or out-of-range id)");
+
+  const TaskId id = nodes_.allocate();
+  Node& node = nodes_[id];
+  node.fn = std::move(fn);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+
+  if (deps.empty()) {
+    // Independent task: no registration window to guard, ready now.
+    node.remaining.store(0, std::memory_order_relaxed);
+    makeReady(id);
+    return id;
+  }
+
+  // +1 guard: the task cannot fire while registration is in progress,
+  // even if every predecessor finishes concurrently.
+  node.remaining.store(deps.size() + 1, std::memory_order_relaxed);
+
+  std::size_t alreadyDone = 1; // the guard
   for (TaskId dep : deps) {
-    PIPOLY_CHECK_MSG(dep < id, "dependency on a not-yet-submitted task");
-    if (!nodes_[dep]->done) {
-      nodes_[dep]->dependents.push_back(id);
-      ++node->remaining;
-    }
+    DepEdge& edge = edges_[edges_.allocate()];
+    edge.dependent = id;
+    if (!registerDependent(nodes_[dep], edge))
+      ++alreadyDone; // predecessor already finished
   }
-  const bool ready = node->remaining == 0;
-  nodes_.push_back(std::move(node));
-  ++pending_;
-  if (ready) {
-    readyQueue_.push_back(id);
-    lock.unlock();
-    readyCv_.notify_one();
-  }
+  if (node.remaining.fetch_sub(alreadyDone, std::memory_order_acq_rel) ==
+      alreadyDone)
+    makeReady(id);
   return id;
 }
 
-void DependencyThreadPool::workerLoop() {
-  std::unique_lock lock(mutex_);
+bool DependencyThreadPool::registerDependent(Node& pred, DepEdge& edge) {
+  DepEdge* head = pred.dependents.load(std::memory_order_acquire);
   while (true) {
-    readyCv_.wait(lock, [this] { return shutdown_ || !readyQueue_.empty(); });
-    if (shutdown_ && readyQueue_.empty())
-      return;
-    const TaskId id = readyQueue_.front();
-    readyQueue_.pop_front();
-    // Run the body without holding the lock. A throwing body must not
-    // wedge the pool: record the first error and keep draining.
-    std::function<void()> fn = std::move(nodes_[id]->fn);
-    lock.unlock();
-    std::exception_ptr error;
-    try {
-      fn();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    lock.lock();
-    if (error && !firstError_)
-      firstError_ = error;
-    finish(id);
+    if (head == sealedTag())
+      return false;
+    edge.next = head;
+    if (pred.dependents.compare_exchange_weak(head, &edge,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire))
+      return true;
   }
 }
 
-void DependencyThreadPool::finish(TaskId id) {
-  // Called with mutex_ held.
-  Node& node = *nodes_[id];
-  node.done = true;
-  bool anyReady = false;
-  for (TaskId dep : node.dependents) {
-    Node& d = *nodes_[dep];
-    PIPOLY_ASSERT(d.remaining > 0);
-    if (--d.remaining == 0) {
-      readyQueue_.push_back(dep);
-      anyReady = true;
+bool DependencyThreadPool::shouldWake(std::size_t searchingAllowance) const {
+  // Skip the wakeup when a sweep (beyond the caller's own) is already in
+  // flight — the sweeper's post-announcement recheck observes any work
+  // published before this load (both are seq_cst) — or when enough
+  // workers are already awake that another one would only contend for
+  // cores. The awake estimate may be stale, but staleness is one-sided
+  // safe: a worker counts as awake until its prepareWait() announcement
+  // (seq_cst sleepers_ bump) — and after announcing it rechecks for
+  // work, so any publication this thread made before reading the stale
+  // count is observed by that recheck. Lost wakeups are impossible;
+  // only redundant ones are suppressed.
+  if (searching_.load(std::memory_order_seq_cst) > searchingAllowance)
+    return false;
+  const std::size_t asleep =
+      std::min(idle_.sleepersApprox(), workers_.size());
+  return workers_.size() - asleep < wakeCap_;
+}
+
+void DependencyThreadPool::makeReady(TaskId id) {
+  if (tlsBinding.pool == this) {
+    // On a worker thread of this pool: push to its own deque (only the
+    // owner may push). Thieves pick it up if this worker stays busy.
+    Worker& me = *workers_[tlsBinding.index];
+    const bool hadBacklog = me.deque.sizeApprox() > 0;
+    me.deque.push(id);
+    // An empty deque means this worker will pop the task itself as soon
+    // as it returns to its loop — waking a sibling for it would only
+    // burn a futex. With backlog there is real parallel slack, so wake
+    // a thief if the throttle allows one.
+    if (hadBacklog && shouldWake())
+      idle_.notifyOne();
+  } else {
+    {
+      InjectionShard& shard = *injection_[id % injection_.size()];
+      std::lock_guard lock(shard.mutex);
+      shard.queue.push_back(id);
+      shard.count.store(shard.queue.size(), std::memory_order_seq_cst);
+    }
+    if (shouldWake())
+      idle_.notifyOne();
+  }
+}
+
+void DependencyThreadPool::runTask(TaskId id) {
+  Node& node = nodes_[id];
+  // Release the closure eagerly: nodes live for the pool's lifetime,
+  // captured state should not.
+  std::function<void()> fn = std::move(node.fn);
+  node.fn = nullptr;
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard lock(errorMutex_);
+    if (!firstError_)
+      firstError_ = std::current_exception();
+  }
+  finishTask(id);
+}
+
+void DependencyThreadPool::finishTask(TaskId id) {
+  Node& node = nodes_[id];
+  // Seal the dependent list: registrations racing with this exchange
+  // either made it onto the list (we publish them below) or observe the
+  // sentinel and count the dependency as satisfied.
+  DepEdge* head = node.dependents.exchange(sealedTag(),
+                                           std::memory_order_acq_rel);
+  for (DepEdge* e = head; e != nullptr; e = e->next)
+    if (nodes_[e->dependent].remaining.fetch_sub(
+            1, std::memory_order_acq_rel) == 1)
+      makeReady(e->dependent);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Empty critical section pairs with waitAll()'s predicate check so
+    // the notify cannot slip between its pending_ load and its sleep.
+    std::lock_guard lock(doneMutex_);
+    doneCv_.notify_all();
+  }
+}
+
+bool DependencyThreadPool::tryDrainInjection(unsigned self, std::size_t shard,
+                                             TaskId& out) {
+  // Drain a batch in one lock acquisition: the first task is returned,
+  // the rest go to this worker's deque where siblings can steal them.
+  constexpr std::size_t kBatch = 32;
+  InjectionShard& s = *injection_[shard];
+  // Lock-free emptiness peek; seq_cst pairs with the producer's count
+  // republish so the parking recheck cannot miss a push (shouldWake()
+  // explains the one-sided-staleness argument).
+  if (s.count.load(std::memory_order_seq_cst) == 0)
+    return false;
+  std::size_t moved = 0;
+  bool leftover = false;
+  {
+    std::lock_guard lock(s.mutex);
+    if (s.queue.empty())
+      return false;
+    out = s.queue.front();
+    s.queue.pop_front();
+    Worker& me = *workers_[self];
+    while (moved < kBatch && !s.queue.empty()) {
+      me.deque.push(s.queue.front());
+      s.queue.pop_front();
+      ++moved;
+    }
+    leftover = !s.queue.empty();
+    s.count.store(s.queue.size(), std::memory_order_seq_cst);
+  }
+  // Cascade: surface the slack we just created to a sibling. Self holds
+  // one searching_ unit, hence the allowance.
+  if ((leftover || moved > 0) && shouldWake(1))
+    idle_.notifyOne();
+  return true;
+}
+
+bool DependencyThreadPool::tryFindWork(unsigned self, TaskId& out) {
+  Worker& me = *workers_[self];
+  // 1. Own deque, newest first (cache-warm dependents).
+  if (std::optional<TaskId> t = me.deque.pop()) {
+    out = *t;
+    return true;
+  }
+  // 2. Injection shards, own shard first.
+  const std::size_t nShards = injection_.size();
+  for (std::size_t k = 0; k < nShards; ++k)
+    if (tryDrainInjection(self, (self + k) % nShards, out))
+      return true;
+  // 3. Steal, randomized sweep; retry once since steals fail spuriously
+  //    when racing other thieves or the owner.
+  const std::size_t n = workers_.size();
+  for (int round = 0; round < 2; ++round) {
+    const std::size_t start = n > 1 ? me.rng.nextBelow(n) : 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = (start + k) % n;
+      if (victim == self)
+        continue;
+      if (std::optional<TaskId> t = workers_[victim]->deque.steal()) {
+        // Batch: grab a few more while the victim is hot, amortizing
+        // the sweep. Extras go to our own deque (stealable again).
+        for (int extra = 0; extra < 7; ++extra) {
+          std::optional<TaskId> more = workers_[victim]->deque.steal();
+          if (!more)
+            break;
+          me.deque.push(*more);
+        }
+        out = *t;
+        return true;
+      }
     }
   }
-  node.dependents.clear();
-  --pending_;
-  if (anyReady)
-    readyCv_.notify_all();
-  if (pending_ == 0)
-    idleCv_.notify_all();
+  return false;
+}
+
+void DependencyThreadPool::workerLoop(unsigned index) {
+  tlsBinding = TlsBinding{this, index};
+  Worker& me = *workers_[index];
+  TaskId task = 0;
+  while (true) {
+    // Fast path: drain the own deque without touching the searching_
+    // gate. A worker with local work never suppresses producer wakeups
+    // (it does not announce itself as sweeping), so the gate's
+    // invariant is untouched.
+    if (std::optional<TaskId> t = me.deque.pop()) {
+      runTask(*t);
+      continue;
+    }
+    searching_.fetch_add(1, std::memory_order_seq_cst);
+    const bool found = tryFindWork(index, task);
+    searching_.fetch_sub(1, std::memory_order_seq_cst);
+    if (found) {
+      runTask(task);
+      continue;
+    }
+    // Nothing visible: announce as sleeper, recheck (the announcement
+    // and the producers' publications are seq_cst, so one side always
+    // sees the other — see event_count.hpp), then park. This final
+    // recheck is also what makes the searching_ wakeup gate safe: a
+    // producer that skipped its notify because we were sweeping is
+    // guaranteed to have its work observed here.
+    const std::uint64_t ticket = idle_.prepareWait();
+    if (shutdown_.load(std::memory_order_acquire)) {
+      idle_.cancelWait();
+      return;
+    }
+    if (tryFindWork(index, task)) {
+      idle_.cancelWait();
+      runTask(task);
+      continue;
+    }
+    idle_.wait(ticket);
+    if (shutdown_.load(std::memory_order_acquire))
+      return;
+  }
 }
 
 void DependencyThreadPool::waitAll() {
-  std::unique_lock lock(mutex_);
-  idleCv_.wait(lock, [this] { return pending_ == 0; });
-  if (firstError_) {
-    std::exception_ptr error = std::exchange(firstError_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  {
+    std::unique_lock lock(doneMutex_);
+    doneCv_.wait(lock,
+                 [&] { return pending_.load(std::memory_order_acquire) == 0; });
   }
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(errorMutex_);
+    error = std::exchange(firstError_, nullptr);
+  }
+  if (error)
+    std::rethrow_exception(error);
 }
 
 } // namespace pipoly::rt

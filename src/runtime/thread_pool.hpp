@@ -5,11 +5,58 @@
 // finished. This is the substrate of the thread-pool tasking backend —
 // the "other tasking platform" the paper's §7 anticipates plugging in
 // beneath its language-agnostic CreateTask layer.
+//
+// Since the work-stealing rewrite the scheduler is lock-free on the hot
+// path:
+//
+//   * Per-worker Chase–Lev deques (work_steal_deque.hpp). A task made
+//     runnable by a worker goes to that worker's own deque bottom
+//     (LIFO, cache-warm); idle workers steal from the top of victims'
+//     deques in randomized sweep order, so the oldest — typically
+//     largest — subgraphs migrate first.
+//   * Tasks submitted from outside the pool land in per-worker-indexed
+//     injection shards (small mutexed queues, sharded by task id), which
+//     workers drain alongside their deques.
+//   * Task nodes and dependency edges live in grow-only slabs
+//     (chunked_slab.hpp): submit() is an atomic id reservation plus
+//     per-predecessor CAS registration — no global lock, no per-task
+//     unique_ptr churn, ids stay valid for the pool's lifetime.
+//   * Each node carries an atomic countdown of unfinished predecessors
+//     plus a +1 submission guard; finish() seals the node's dependent
+//     list with a sentinel exchange, so a racing late registration
+//     either enqueues onto the live list or observes "already done" —
+//     never both, never blocked.
+//   * Idle workers park on an event count (event_count.hpp): producers
+//     pay one atomic load when nobody sleeps, instead of the old
+//     broadcast over every worker on every finished task.
+//
+// Contracts:
+//   * submit() is thread-safe against itself and against workers; in
+//     particular a task body may submit follow-up tasks (nested blocks
+//     in the pipeline blocking maps need this). A dependency must be an
+//     id obtained from a submit() that happened-before this one —
+//     anything else (self, forward, out-of-range ids) throws
+//     pipoly::Error and leaves the pool usable.
+//   * waitAll() returns when every task whose submission happened-before
+//     the call (including tasks those tasks spawned) has finished. It
+//     rethrows the first exception recorded from a task body and resets
+//     it; the pool stays usable. A failed task's dependents still run —
+//     errors are reported, never used to cancel the graph.
+//   * The destructor drains outstanding work but swallows unreported
+//     task errors (destructors must not throw).
 
+#include "runtime/chunked_slab.hpp"
+#include "runtime/event_count.hpp"
+#include "runtime/work_steal_deque.hpp"
+#include "support/rng.hpp"
+
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -29,9 +76,10 @@ public:
   DependencyThreadPool& operator=(const DependencyThreadPool&) = delete;
 
   /// Submits a task that may start only after all `deps` have finished.
-  /// Dependencies must be ids returned by earlier submit() calls.
-  /// Thread-safe with respect to workers, but submissions must come from
-  /// a single thread.
+  /// Dependencies must be ids returned by submit() calls that
+  /// happened-before this one; violations throw pipoly::Error.
+  /// Thread-safe: may be called concurrently from any thread, including
+  /// from inside running task bodies.
   TaskId submit(std::function<void()> fn, std::span<const TaskId> deps);
 
   /// Blocks until every submitted task has finished. Rethrows the first
@@ -41,25 +89,74 @@ public:
   unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
 
 private:
-  struct Node {
-    std::function<void()> fn;
-    std::size_t remaining = 0;
-    bool done = false;
-    std::vector<TaskId> dependents;
+  struct DepEdge {
+    TaskId dependent = 0;
+    DepEdge* next = nullptr;
   };
 
-  void workerLoop();
-  void finish(TaskId id);
+  struct alignas(64) Node {
+    std::function<void()> fn;
+    // Unfinished predecessors + 1 submission guard; the task is
+    // runnable when this hits 0.
+    std::atomic<std::size_t> remaining{0};
+    // Intrusive list of registered dependents; sealedTag() once the
+    // task has finished.
+    std::atomic<DepEdge*> dependents{nullptr};
+  };
 
-  std::mutex mutex_;
-  std::condition_variable readyCv_;
-  std::condition_variable idleCv_;
-  std::deque<std::unique_ptr<Node>> nodes_;
-  std::deque<TaskId> readyQueue_;
-  std::size_t pending_ = 0; // submitted but not finished
-  std::exception_ptr firstError_;
-  bool shutdown_ = false;
-  std::vector<std::jthread> workers_;
+  struct Worker {
+    explicit Worker(std::uint64_t seed) : rng(seed) {}
+    WorkStealDeque<TaskId> deque;
+    SplitMix64 rng; // victim-selection randomness, owner-thread only
+  };
+
+  struct InjectionShard {
+    std::mutex mutex;
+    std::deque<TaskId> queue;
+    // queue.size(), republished after every mutation; lets sweepers skip
+    // empty shards without taking the lock (seq_cst on both sides so the
+    // parking recheck cannot miss a push — see shouldWake()).
+    std::atomic<std::size_t> count{0};
+  };
+
+  static DepEdge* sealedTag();
+  bool shouldWake(std::size_t searchingAllowance = 0) const;
+  bool registerDependent(Node& pred, DepEdge& edge);
+  void makeReady(TaskId id);
+  void runTask(TaskId id);
+  void finishTask(TaskId id);
+  bool tryFindWork(unsigned self, TaskId& out);
+  bool tryDrainInjection(unsigned self, std::size_t shard, TaskId& out);
+  void workerLoop(unsigned index);
+
+  ChunkedSlab<Node> nodes_;
+  ChunkedSlab<DepEdge> edges_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<InjectionShard>> injection_;
+
+  std::atomic<std::size_t> pending_{0}; // submitted but not finished
+  // Workers currently sweeping for work. Producers skip the wakeup when
+  // a sweep is in flight: the sweeper's post-announcement recheck (see
+  // workerLoop) is guaranteed to observe freshly published work, so the
+  // gate only suppresses redundant futex traffic, never progress.
+  std::atomic<std::size_t> searching_{0};
+  // Wake throttle: producers stop waking sleepers once this many workers
+  // are already awake. Defaults to hardware_concurrency (workers beyond
+  // the core count only add context-switch pressure); override with the
+  // PIPOLY_POOL_WAKE_CAP environment variable (clamped to numThreads).
+  // Assumes task bodies run to completion without blocking on anything
+  // other than their declared dependencies — waiting between tasks must
+  // go through deps, which the contract already requires.
+  unsigned wakeCap_ = 1;
+  std::mutex doneMutex_; // waitAll() parking, cold
+  std::condition_variable doneCv_;
+
+  std::mutex errorMutex_;
+  std::exception_ptr firstError_; // guarded by errorMutex_
+
+  EventCount idle_;
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::jthread> threads_;
 };
 
 } // namespace pipoly::rt

@@ -3,6 +3,8 @@
 #include "runtime/thread_pool.hpp"
 #include "support/assert.hpp"
 
+#include <array>
+#include <cstddef>
 #include <cstring>
 #include <map>
 #include <vector>
@@ -11,6 +13,10 @@ namespace pipoly::tasking {
 
 namespace {
 
+// The work-stealing DependencyThreadPool accepts submissions from any
+// thread (task bodies included), so this backend imposes no threading
+// restriction beyond the TaskingLayer contract that createTask() runs
+// inside run()'s spawner.
 class ThreadPoolBackend final : public TaskingLayer {
 public:
   explicit ThreadPoolBackend(unsigned numThreads) : numThreads_(numThreads) {}
@@ -33,10 +39,21 @@ public:
         deps.push_back(it->second);
     }
 
-    auto copy = std::make_shared<std::vector<std::byte>>(inputSize);
-    std::memcpy(copy->data(), input, inputSize);
-    auto id = pool_->submit(
-        [f, copy = std::move(copy)] { f(copy->data()); }, deps);
+    rt::DependencyThreadPool::TaskId id;
+    if (inputSize <= sizeof(InlinePayload)) {
+      // Common case (the executor and timing layer pass pointer-sized
+      // structs): carry the copy inside the closure itself instead of a
+      // heap-allocated buffer.
+      InlinePayload payload{};
+      std::memcpy(payload.bytes.data(), input, inputSize);
+      id = pool_->submit([f, payload]() mutable { f(payload.bytes.data()); },
+                         deps);
+    } else {
+      auto copy = std::make_shared<std::vector<std::byte>>(inputSize);
+      std::memcpy(copy->data(), input, inputSize);
+      id = pool_->submit([f, copy = std::move(copy)] { f(copy->data()); },
+                         deps);
+    }
     lastWriter_[{outIdx, outDepend}] = id;
   }
 
@@ -56,6 +73,10 @@ public:
   }
 
 private:
+  struct InlinePayload {
+    alignas(std::max_align_t) std::array<std::byte, 24> bytes;
+  };
+
   unsigned numThreads_;
   rt::DependencyThreadPool* pool_ = nullptr;
   std::map<std::pair<int, std::int64_t>, rt::DependencyThreadPool::TaskId>

@@ -50,6 +50,46 @@ TEST(ExecuteTaskProgramTest, EveryInstanceExactlyOnce) {
     EXPECT_EQ(count, 1);
 }
 
+TEST(ExecuteTaskProgramTest, EveryInstanceExactlyOnceManyWorkers) {
+  // Same exactly-once property as above, but with more workers than the
+  // host has cores: forces the work-stealing and parking paths of the
+  // rewritten DependencyThreadPool backend.
+  scop::Scop scop = testing::listing3(16);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  std::mutex m;
+  std::map<std::pair<std::size_t, pb::Tuple>, int> counts;
+  auto layer = tasking::makeThreadPoolBackend(8);
+  tasking::executeTaskProgram(prog, *layer,
+                              [&](std::size_t s, const pb::Tuple& it) {
+                                std::lock_guard lock(m);
+                                ++counts[{s, it}];
+                              });
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < scop.numStatements(); ++s)
+    total += scop.statement(s).domain().size();
+  EXPECT_EQ(counts.size(), total);
+  for (const auto& [key, count] : counts)
+    EXPECT_EQ(count, 1);
+}
+
+TEST(ExecuteTaskProgramTest, RepeatedRunsOnOneBackendStayExactlyOnce) {
+  // The backend clears its last-writer table between runs; repeated
+  // executions must not leak dependencies or duplicate work.
+  scop::Scop scop = testing::listing3(10);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  auto layer = tasking::makeThreadPoolBackend(4);
+  std::mutex m;
+  std::map<std::pair<std::size_t, pb::Tuple>, int> counts;
+  for (int run = 0; run < 3; ++run)
+    tasking::executeTaskProgram(prog, *layer,
+                                [&](std::size_t s, const pb::Tuple& it) {
+                                  std::lock_guard lock(m);
+                                  ++counts[{s, it}];
+                                });
+  for (const auto& [key, count] : counts)
+    EXPECT_EQ(count, 3);
+}
+
 TEST(SplitMix64Test, DeterministicAndRangeRespecting) {
   SplitMix64 a(42), b(42);
   for (int k = 0; k < 100; ++k)

@@ -132,5 +132,82 @@ TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
   EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPoolTest, SelfDependencyRejected) {
+  DependencyThreadPool pool(2);
+  // Ids are dense from a single submitter: after three tasks the next
+  // submit would get id 3, so a dependency on 3 is a self-dependency.
+  for (int i = 0; i < 3; ++i)
+    pool.submit([] {}, {});
+  std::vector<DependencyThreadPool::TaskId> self{3};
+  EXPECT_THROW((void)pool.submit([] {}, self), Error);
+  // The rejected submission leaves no half-armed task behind.
+  std::atomic<int> ok{0};
+  pool.submit([&] { ok = 1; }, {});
+  pool.waitAll();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPoolTest, OutOfRangeDependencyRejected) {
+  DependencyThreadPool pool(2);
+  pool.submit([] {}, {});
+  std::vector<DependencyThreadPool::TaskId> bogus{1000000000};
+  EXPECT_THROW((void)pool.submit([] {}, bogus), Error);
+  pool.waitAll();
+  std::atomic<int> ok{0};
+  pool.submit([&] { ok = 1; }, {});
+  pool.waitAll();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionMidGraphStillRunsDependentsFirstErrorWins) {
+  // Documented policy: a failed task's dependents still run (errors are
+  // reported, never used to cancel the graph), and waitAll rethrows
+  // exactly the *first* recorded error.
+  DependencyThreadPool pool(4);
+  std::atomic<bool> bRan{false}, cRan{false};
+  auto a = pool.submit([] { throw std::runtime_error("first"); }, {});
+  std::vector<DependencyThreadPool::TaskId> depA{a};
+  auto b = pool.submit(
+      [&] {
+        bRan = true;
+        throw std::runtime_error("second");
+      },
+      depA);
+  std::vector<DependencyThreadPool::TaskId> depB{b};
+  pool.submit([&] { cRan = true; }, depB);
+  try {
+    pool.waitAll();
+    FAIL() << "waitAll must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_TRUE(bRan.load());
+  EXPECT_TRUE(cRan.load());
+  // The error was consumed: the next waitAll is clean.
+  pool.waitAll();
+}
+
+TEST(ThreadPoolTest, SingleWorkerExecutesAnyDagInTopologicalOrder) {
+  DependencyThreadPool pool(1);
+  SplitMix64 rng(11);
+  const std::size_t n = 200;
+  std::vector<std::vector<DependencyThreadPool::TaskId>> deps(n);
+  std::vector<std::size_t> position(n, 0);
+  std::size_t clock = 0; // one worker: no synchronization needed
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0)
+      for (std::size_t k = rng.nextBelow(3); k > 0; --k)
+        deps[i].push_back(rng.nextBelow(i));
+    pool.submit([&position, &clock, i] { position[i] = ++clock; }, deps[i]);
+  }
+  pool.waitAll();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(position[i], 0u) << "task " << i << " never ran";
+    for (auto d : deps[i])
+      EXPECT_LT(position[d], position[i])
+          << "task " << i << " ran before its dep " << d;
+  }
+}
+
 } // namespace
 } // namespace pipoly::rt

@@ -67,6 +67,49 @@ TEST(TimingLayerTest, MeasurableSpinTasks) {
   EXPECT_GE(layer.totalBusySeconds(), 5 * 0.002 - 1e-3);
 }
 
+TEST(TimingLayerTest, NoLostOrDuplicateRecordsUnderConcurrency) {
+  // With the work-stealing backend, task records are appended from
+  // every worker concurrently; none may be lost or double-counted, and
+  // indices must come out dense (run() sorts by creation index).
+  TimingLayer layer(makeThreadPoolBackend(8));
+  auto noop = +[](void*) {};
+  int dummy = 0;
+  constexpr std::size_t kTasks = 500;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    layer.run([&] {
+      for (std::size_t k = 0; k < kTasks; ++k)
+        layer.createTask(noop, &dummy, sizeof(dummy),
+                         static_cast<std::int64_t>(k), 0, nullptr, nullptr, 0);
+    });
+    ASSERT_EQ(layer.timings().size(), kTasks);
+    for (std::size_t k = 0; k < kTasks; ++k)
+      EXPECT_EQ(layer.timings()[k].index, k) << "lost or duplicated record";
+  }
+}
+
+TEST(TimingLayerTest, DependentChainRecordsDoNotOverlap) {
+  // A strict dependency chain must produce strictly ordered intervals
+  // even when recorded from different worker threads.
+  TimingLayer layer(makeThreadPoolBackend(4));
+  auto noop = +[](void*) {};
+  int dummy = 0;
+  constexpr int kDepth = 64;
+  layer.run([&] {
+    for (int k = 0; k < kDepth; ++k) {
+      std::int64_t dep = k - 1;
+      int idx = 0;
+      layer.createTask(noop, &dummy, sizeof(dummy), k, 0,
+                       k > 0 ? &dep : nullptr, k > 0 ? &idx : nullptr,
+                       k > 0 ? 1u : 0u);
+    }
+  });
+  ASSERT_EQ(layer.timings().size(), static_cast<std::size_t>(kDepth));
+  for (int k = 1; k < kDepth; ++k)
+    EXPECT_LE(layer.timings()[static_cast<std::size_t>(k) - 1].finish,
+              layer.timings()[static_cast<std::size_t>(k)].start + 1e-9)
+        << "chained tasks " << k - 1 << " and " << k << " overlapped";
+}
+
 TEST(TimingLayerTest, ResetsBetweenRuns) {
   TimingLayer layer(makeSerialBackend());
   auto noop = +[](void*) {};
