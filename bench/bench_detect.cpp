@@ -1,0 +1,162 @@
+// Serial vs parallel pipeline detection (EXPERIMENTS.md E15).
+//
+// Synthetic SCoPs with 8-64 consecutive nests over large rectangular
+// domains: nest k writes A_k[i][j], reads its own diagonal neighbour
+// (keeping every nest serial) and a strided element of a few earlier
+// arrays — so the number of dependent pairs, and with it the per-pair
+// Algorithm-1 work, grows with the statement count.
+//
+// Usage:
+//   bench_detect [--smoke] [threads...]     (default threads: 2 4 8)
+//
+// --smoke runs one small configuration, verifies that parallel detection
+// is bit-identical to serial, and exits non-zero on mismatch — the CI
+// correctness hook.
+
+#include "pipeline/detect.hpp"
+
+#include "bench_common.hpp"
+#include "scop/builder.hpp"
+#include "support/stopwatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace pipoly;
+
+/// `stmts` consecutive nests over an `extent` x `extent` domain. Nest k
+/// reads nests k-1, k-2 and k-4 (where they exist) with mixed strides.
+scop::Scop syntheticScop(std::size_t stmts, pb::Value extent) {
+  scop::ScopBuilder b("synthetic");
+  std::vector<std::size_t> arrays;
+  arrays.reserve(stmts);
+  for (std::size_t k = 0; k < stmts; ++k)
+    arrays.push_back(
+        b.array("A" + std::to_string(k), {2 * extent + 2, 2 * extent + 2}));
+  for (std::size_t k = 0; k < stmts; ++k) {
+    auto S = b.statement("S" + std::to_string(k), 2);
+    S.bound(0, 0, extent).bound(1, 0, extent);
+    S.write(arrays[k], {S.dim(0), S.dim(1)});
+    S.read(arrays[k], {S.dim(0) + 1, S.dim(1) + 1}); // serial nest
+    for (std::size_t back : {std::size_t{1}, std::size_t{2}, std::size_t{4}})
+      if (back <= k)
+        S.read(arrays[k - back], back == 2
+                                     ? std::vector<pb::AffineExpr>{2 * S.dim(0),
+                                                                   S.dim(1)}
+                                     : std::vector<pb::AffineExpr>{S.dim(0),
+                                                                   S.dim(1)});
+  }
+  return b.build();
+}
+
+bool infoEquals(const pipeline::PipelineInfo& a,
+                const pipeline::PipelineInfo& b) {
+  if (a.maps.size() != b.maps.size() ||
+      a.statements.size() != b.statements.size())
+    return false;
+  for (std::size_t i = 0; i < a.maps.size(); ++i)
+    if (a.maps[i].srcIdx != b.maps[i].srcIdx ||
+        a.maps[i].tgtIdx != b.maps[i].tgtIdx || !(a.maps[i].map == b.maps[i].map))
+      return false;
+  for (std::size_t s = 0; s < a.statements.size(); ++s) {
+    const pipeline::StatementPipelineInfo& x = a.statements[s];
+    const pipeline::StatementPipelineInfo& y = b.statements[s];
+    if (!(x.blocking == y.blocking) || !(x.expansion == y.expansion) ||
+        !(x.blockReps == y.blockReps) ||
+        !(x.outDependency == y.outDependency) ||
+        x.chainOrdering != y.chainOrdering || !(x.selfEdges == y.selfEdges) ||
+        x.inRequirements.size() != y.inRequirements.size())
+      return false;
+    for (std::size_t r = 0; r < x.inRequirements.size(); ++r)
+      if (x.inRequirements[r].srcStmtIdx != y.inRequirements[r].srcStmtIdx ||
+          !(x.inRequirements[r].map == y.inRequirements[r].map))
+        return false;
+  }
+  return true;
+}
+
+double timeDetect(const scop::Scop& scop, unsigned threads, int reps,
+                  pipeline::PipelineInfo* out = nullptr) {
+  pipeline::DetectOptions opt;
+  opt.numThreads = threads;
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    pipeline::PipelineInfo info = pipeline::detectPipeline(scop, opt);
+    const double t = sw.seconds();
+    if (r == 0 || t < best)
+      best = t;
+    if (out && r == 0)
+      *out = std::move(info);
+  }
+  return best;
+}
+
+int runSmoke() {
+  const scop::Scop scop = syntheticScop(16, 24);
+  pipeline::PipelineInfo serial, parallel;
+  timeDetect(scop, 0, 1, &serial);
+  timeDetect(scop, 4, 1, &parallel);
+  if (!infoEquals(serial, parallel)) {
+    std::printf("bench_detect --smoke: FAIL — parallel PipelineInfo "
+                "differs from serial\n");
+    return 1;
+  }
+  std::printf("bench_detect --smoke: OK — 16 statements, %zu pipeline maps, "
+              "%zu blocks, parallel(4) == serial\n",
+              serial.maps.size(), serial.totalBlocks());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::vector<unsigned> threadCounts;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--smoke") == 0)
+      return runSmoke();
+    threadCounts.push_back(static_cast<unsigned>(std::atoi(argv[a])));
+  }
+  if (threadCounts.empty())
+    threadCounts = {2, 4, 8};
+
+  std::printf("bench_detect: serial vs parallel detectPipeline\n");
+  std::printf("hardware_concurrency = %u\n\n",
+              std::thread::hardware_concurrency());
+
+  struct Config {
+    std::size_t stmts;
+    pb::Value extent;
+  };
+  const Config configs[] = {{8, 48}, {16, 40}, {32, 28}, {64, 20}};
+
+  pipoly::bench::Table table({"stmts", "domain", "pairs", "serial_ms",
+                              "threads", "parallel_ms", "speedup"});
+  for (const Config& c : configs) {
+    const scop::Scop scop = syntheticScop(c.stmts, c.extent);
+    pipeline::PipelineInfo serialInfo;
+    const double serial = timeDetect(scop, 0, 3, &serialInfo);
+    for (unsigned t : threadCounts) {
+      pipeline::PipelineInfo parallelInfo;
+      const double par = timeDetect(scop, t, 3, &parallelInfo);
+      if (!infoEquals(serialInfo, parallelInfo)) {
+        std::printf("MISMATCH at stmts=%zu threads=%u\n", c.stmts, t);
+        return 1;
+      }
+      table.addRow({std::to_string(c.stmts),
+                    std::to_string(c.extent) + "x" + std::to_string(c.extent),
+                    std::to_string(serialInfo.maps.size()),
+                    pipoly::bench::fmt(serial * 1e3), std::to_string(t),
+                    pipoly::bench::fmt(par * 1e3),
+                    pipoly::bench::fmt(serial / par) + "x"});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,8 +1,12 @@
 #include "pipeline/detect.hpp"
 
 #include "pipeline/symbolic.hpp"
+#include "runtime/thread_pool.hpp"
 #include "scop/dependences.hpp"
 #include "support/assert.hpp"
+
+#include <optional>
+#include <utility>
 
 namespace pipoly::pipeline {
 
@@ -33,6 +37,175 @@ pb::IntMap coarsenBlocking(const pb::IntTupleSet& domain,
                      pb::IntTupleSet(domain.space(), std::move(kept)));
 }
 
+/// Result of Algorithm 1, lines 1-7, for one dependent (source, target)
+/// candidate pair; `hasMap == false` when the pair yields no pipeline map
+/// (no dependence, or an empty map).
+struct PairResult {
+  pb::IntMap map;         // T_{S,T}
+  pb::IntMap srcBlocking; // V_S over the source domain
+  pb::IntMap tgtBlocking; // Y_T over the target domain
+  bool hasMap = false;
+};
+
+PairResult computePair(const scop::Scop& scop, std::size_t s, std::size_t t,
+                       const DetectOptions& options) {
+  PairResult r;
+  if (!scop::dependsOn(scop, t, s))
+    return r;
+  // The symbolic fast path covers identity-write sources (most
+  // kernels); the explicit Wr^-1(Rd) composition is the general case.
+  pb::IntMap tMap;
+  if (std::optional<pb::IntMap> fast = trySymbolicPipelineMap(scop, s, t))
+    tMap = std::move(*fast);
+  else
+    tMap = pipelineMap(scop, s, t, options.allowNonInjectiveWrites);
+  if (tMap.empty())
+    return r;
+  r.srcBlocking = sourceBlockingMap(scop.statement(s).domain(), tMap);
+  r.tgtBlocking = targetBlockingMap(scop.statement(t).domain(), tMap);
+  r.map = std::move(tMap);
+  r.hasMap = true;
+  return r;
+}
+
+/// Algorithm 1, lines 8-10, for one statement: integrate its blocking
+/// maps (eq. 3) and build the out-dependency identity. Statements not
+/// involved in any pipeline map become a single block (their whole domain
+/// as one task); statements with an empty iteration domain get zero
+/// blocks and no dependencies.
+void computeStatementInfo(const scop::Scop& scop, std::size_t s,
+                          const std::vector<pb::IntMap>& maps,
+                          const DetectOptions& options,
+                          StatementPipelineInfo& st) {
+  const pb::IntTupleSet& domain = scop.statement(s).domain();
+  if (options.relaxSameNestOrdering)
+    st.chainOrdering = false;
+  if (domain.empty()) {
+    st.blocking = pb::IntMap(domain.space(), domain.space());
+    st.expansion = st.blocking;
+    st.blockReps = domain;
+    st.outDependency = st.blocking;
+    if (options.relaxSameNestOrdering)
+      st.selfEdges = pb::IntMap(scop.statement(s).space(),
+                                scop.statement(s).space());
+    return;
+  }
+  if (maps.empty()) {
+    st.blocking = blockingMap(domain, pb::IntTupleSet(domain.space()));
+  } else if (options.integration == DetectOptions::Integration::LexminUnion) {
+    st.blocking = integrateBlockingMaps(maps);
+  } else {
+    st.blocking = maps.front();
+  }
+  st.blocking = coarsenBlocking(domain, st.blocking, options.coarsening);
+  st.expansion = st.blocking.inverse();
+  st.blockReps = st.blocking.range();
+  st.outDependency = pb::IntMap::identity(st.blockReps);
+
+  if (options.relaxSameNestOrdering) {
+    // §7 combination with per-nest parallelism: compute the exact
+    // cross-block self-dependence edges. Blocks with no incoming edge
+    // from another block may run as soon as their cross-statement
+    // requirements are met.
+    std::vector<pb::IntMap::Pair> edges;
+    const pb::IntMap selfDeps = scop::selfDependences(scop, s);
+    for (const auto& [i, j] : selfDeps.pairs()) {
+      pb::Tuple from = *st.blocking.singleImageOf(i);
+      pb::Tuple to = *st.blocking.singleImageOf(j);
+      if (from != to)
+        edges.emplace_back(std::move(to), std::move(from));
+    }
+    st.selfEdges = pb::IntMap(scop.statement(s).space(),
+                              scop.statement(s).space(), std::move(edges));
+  }
+}
+
+/// Algorithm 1, lines 11-12, for one pipeline map: the in-dependency map
+/// (eq. 4). Reads the per-statement info computed by computeStatementInfo
+/// (all of it must be complete) and returns the requirement to attach to
+/// the target statement.
+InRequirement computeInRequirement(const scop::Scop& scop,
+                                   const PipelineMapEntry& entry,
+                                   const PipelineInfo& info,
+                                   const DetectOptions& options) {
+  const scop::Statement& tgt = scop.statement(entry.tgtIdx);
+  const StatementPipelineInfo& tgtInfo = info.statements[entry.tgtIdx];
+  const StatementPipelineInfo& srcInfo = info.statements[entry.srcIdx];
+
+  // With relaxed same-nest ordering the prefix argument behind eq. 4 no
+  // longer holds (finishing a source block does not imply earlier source
+  // blocks finished), so the requirements switch to the exact data-flow
+  // edges: each target block depends on every source block it actually
+  // reads from, derived from P = Wr^-1(Rd).
+  if (options.relaxSameNestOrdering) {
+    pb::IntMap p = producerRelation(scop, entry.srcIdx, entry.tgtIdx,
+                                    options.allowNonInjectiveWrites);
+    std::vector<pb::IntMap::Pair> pairs;
+    pairs.reserve(p.size());
+    for (const auto& [j, i] : p.pairs())
+      pairs.emplace_back(*tgtInfo.blocking.singleImageOf(j),
+                         *srcInfo.blocking.singleImageOf(i));
+    return InRequirement{entry.srcIdx,
+                         pb::IntMap(tgt.space(),
+                                    scop.statement(entry.srcIdx).space(),
+                                    std::move(pairs))};
+  }
+
+  // Q = T^-1 ( Y_T ( Range(Σ_T) ) ): every block of the target needs the
+  // last source block that enables it.
+  pb::IntMap y = targetBlockingMap(tgt.domain(), entry.map);
+  pb::IntMap tInv = entry.map.inverse(); // single-valued (T is injective)
+  pb::IntTupleSet tRange = entry.map.range();
+  const pb::Tuple lastSource = entry.map.domain().lexmax();
+
+  std::vector<pb::IntMap::Pair> pairs;
+  for (const pb::Tuple& rep : tgtInfo.blockReps.points()) {
+    std::optional<pb::Tuple> boundary = y.singleImageOf(rep);
+    PIPOLY_CHECK_MSG(boundary.has_value(),
+                     "target blocking map not total on block reps");
+    pb::Tuple required;
+    if (tRange.contains(*boundary)) {
+      std::optional<pb::Tuple> req = tInv.singleImageOf(*boundary);
+      PIPOLY_CHECK(req.has_value());
+      required = std::move(*req);
+    } else {
+      // The block maps past the last pipeline boundary. With the
+      // integrated Σ of eq. 3 such a block provably contains no reader
+      // of this source, but under coarsening or FirstMapOnly it may;
+      // require the whole pipelined source prefix (conservative, and a
+      // no-op when the block truly reads nothing).
+      required = lastSource;
+    }
+    // The required iteration is a blocking boundary of the source map,
+    // so mapping through Σ_src names the block that produces it (with a
+    // coarsened Σ it lands on the enclosing, later block — still safe).
+    std::optional<pb::Tuple> srcBlock =
+        srcInfo.blocking.singleImageOf(required);
+    PIPOLY_CHECK(srcBlock.has_value());
+    pairs.emplace_back(rep, std::move(*srcBlock));
+  }
+  return InRequirement{entry.srcIdx,
+                       pb::IntMap(tgt.space(),
+                                  scop.statement(entry.srcIdx).space(),
+                                  std::move(pairs))};
+}
+
+/// Runs `fn(0) .. fn(count-1)` — inline when `pool` is null (the serial
+/// reference path), otherwise as independent tasks on the pool with a
+/// barrier at the end. Each unit writes only its own result slot, so the
+/// outcome is identical either way; waitAll() rethrows the first failure.
+template <typename Fn>
+void forEachUnit(rt::DependencyThreadPool* pool, std::size_t count, Fn&& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i)
+      fn(i);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i)
+    pool->submit([&fn, i] { fn(i); }, {});
+  pool->waitAll();
+}
+
 } // namespace
 
 PipelineInfo detectPipeline(const scop::Scop& scop,
@@ -43,131 +216,58 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
   PipelineInfo info;
   info.statements.resize(n);
 
-  // Algorithm 1, lines 1-7: pipeline maps and per-pair blocking maps.
+  // numThreads == 0 keeps everything inline on the caller's thread; any
+  // other value runs the three phases' units on a work-stealing pool.
+  // Results are gathered positionally in the serial iteration order, so
+  // PipelineInfo is bit-identical regardless of the thread count.
+  std::optional<rt::DependencyThreadPool> pool;
+  if (options.numThreads > 0)
+    pool.emplace(options.numThreads);
+  rt::DependencyThreadPool* poolPtr = pool ? &*pool : nullptr;
+
+  // Phase 1 (Algorithm 1, lines 1-7): pipeline maps and per-pair blocking
+  // maps for every candidate pair, enumerated in the serial (t outer,
+  // s inner) order.
+  std::vector<std::pair<std::size_t, std::size_t>> candidates; // (s, t)
+  candidates.reserve(n * n / 2);
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t s = 0; s < t; ++s)
+      candidates.emplace_back(s, t);
+
+  std::vector<PairResult> pairResults(candidates.size());
+  forEachUnit(poolPtr, candidates.size(), [&](std::size_t i) {
+    pairResults[i] =
+        computePair(scop, candidates[i].first, candidates[i].second, options);
+  });
+
+  // Deterministic gather preserving the serial push order.
   std::vector<std::vector<pb::IntMap>> blockingMaps(n);
-  for (std::size_t t = 0; t < n; ++t) {
-    for (std::size_t s = 0; s < t; ++s) {
-      if (!scop::dependsOn(scop, t, s))
-        continue;
-      // The symbolic fast path covers identity-write sources (most
-      // kernels); the explicit Wr^-1(Rd) composition is the general case.
-      pb::IntMap tMap;
-      if (std::optional<pb::IntMap> fast = trySymbolicPipelineMap(scop, s, t))
-        tMap = std::move(*fast);
-      else
-        tMap = pipelineMap(scop, s, t, options.allowNonInjectiveWrites);
-      if (tMap.empty())
-        continue;
-      blockingMaps[s].push_back(
-          sourceBlockingMap(scop.statement(s).domain(), tMap));
-      blockingMaps[t].push_back(
-          targetBlockingMap(scop.statement(t).domain(), tMap));
-      info.maps.push_back(PipelineMapEntry{s, t, std::move(tMap)});
-    }
-  }
-
-  // Algorithm 1, lines 8-10: integrate blocking maps (eq. 3) and build the
-  // out-dependency identity. Statements not involved in any pipeline map
-  // become a single block (their whole domain as one task).
-  for (std::size_t s = 0; s < n; ++s) {
-    StatementPipelineInfo& st = info.statements[s];
-    const pb::IntTupleSet& domain = scop.statement(s).domain();
-    if (blockingMaps[s].empty()) {
-      st.blocking = blockingMap(domain, pb::IntTupleSet(domain.space()));
-    } else if (options.integration == DetectOptions::Integration::LexminUnion) {
-      st.blocking = integrateBlockingMaps(blockingMaps[s]);
-    } else {
-      st.blocking = blockingMaps[s].front();
-    }
-    st.blocking = coarsenBlocking(domain, st.blocking, options.coarsening);
-    st.expansion = st.blocking.inverse();
-    st.blockReps = st.blocking.range();
-    st.outDependency = pb::IntMap::identity(st.blockReps);
-
-    if (options.relaxSameNestOrdering) {
-      // §7 combination with per-nest parallelism: compute the exact
-      // cross-block self-dependence edges. Blocks with no incoming edge
-      // from another block may run as soon as their cross-statement
-      // requirements are met.
-      st.chainOrdering = false;
-      std::vector<pb::IntMap::Pair> edges;
-      const pb::IntMap selfDeps = scop::selfDependences(scop, s);
-      for (const auto& [i, j] : selfDeps.pairs()) {
-        pb::Tuple from = *st.blocking.singleImageOf(i);
-        pb::Tuple to = *st.blocking.singleImageOf(j);
-        if (from != to)
-          edges.emplace_back(std::move(to), std::move(from));
-      }
-      st.selfEdges = pb::IntMap(scop.statement(s).space(),
-                                scop.statement(s).space(), std::move(edges));
-    }
-  }
-
-  // Algorithm 1, lines 11-12: in-dependency maps (eq. 4). For each
-  // pipeline map T_{S,T}, every block of T needs the last source block
-  // that enables it: Q = T^-1 ( Y_T ( Range(Σ_T) ) ).
-  //
-  // With relaxed same-nest ordering the prefix argument behind eq. 4 no
-  // longer holds (finishing a source block does not imply earlier source
-  // blocks finished), so the requirements switch to the exact data-flow
-  // edges: each target block depends on every source block it actually
-  // reads from, derived from P = Wr^-1(Rd).
-  for (const PipelineMapEntry& entry : info.maps) {
-    const scop::Statement& tgt = scop.statement(entry.tgtIdx);
-    StatementPipelineInfo& tgtInfo = info.statements[entry.tgtIdx];
-    const StatementPipelineInfo& srcInfo = info.statements[entry.srcIdx];
-
-    if (options.relaxSameNestOrdering) {
-      pb::IntMap p = producerRelation(scop, entry.srcIdx, entry.tgtIdx,
-                                      options.allowNonInjectiveWrites);
-      std::vector<pb::IntMap::Pair> pairs;
-      pairs.reserve(p.size());
-      for (const auto& [j, i] : p.pairs())
-        pairs.emplace_back(*tgtInfo.blocking.singleImageOf(j),
-                           *srcInfo.blocking.singleImageOf(i));
-      tgtInfo.inRequirements.push_back(InRequirement{
-          entry.srcIdx,
-          pb::IntMap(tgt.space(), scop.statement(entry.srcIdx).space(),
-                     std::move(pairs))});
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    PairResult& r = pairResults[i];
+    if (!r.hasMap)
       continue;
-    }
-
-    pb::IntMap y = targetBlockingMap(tgt.domain(), entry.map);
-    pb::IntMap tInv = entry.map.inverse(); // single-valued (T is injective)
-    pb::IntTupleSet tRange = entry.map.range();
-    const pb::Tuple lastSource = entry.map.domain().lexmax();
-
-    std::vector<pb::IntMap::Pair> pairs;
-    for (const pb::Tuple& rep : tgtInfo.blockReps.points()) {
-      std::optional<pb::Tuple> boundary = y.singleImageOf(rep);
-      PIPOLY_CHECK_MSG(boundary.has_value(),
-                       "target blocking map not total on block reps");
-      pb::Tuple required;
-      if (tRange.contains(*boundary)) {
-        std::optional<pb::Tuple> req = tInv.singleImageOf(*boundary);
-        PIPOLY_CHECK(req.has_value());
-        required = std::move(*req);
-      } else {
-        // The block maps past the last pipeline boundary. With the
-        // integrated Σ of eq. 3 such a block provably contains no reader
-        // of this source, but under coarsening or FirstMapOnly it may;
-        // require the whole pipelined source prefix (conservative, and a
-        // no-op when the block truly reads nothing).
-        required = lastSource;
-      }
-      // The required iteration is a blocking boundary of the source map,
-      // so mapping through Σ_src names the block that produces it (with a
-      // coarsened Σ it lands on the enclosing, later block — still safe).
-      std::optional<pb::Tuple> srcBlock =
-          srcInfo.blocking.singleImageOf(required);
-      PIPOLY_CHECK(srcBlock.has_value());
-      pairs.emplace_back(rep, std::move(*srcBlock));
-    }
-    tgtInfo.inRequirements.push_back(InRequirement{
-        entry.srcIdx,
-        pb::IntMap(tgt.space(), scop.statement(entry.srcIdx).space(),
-                   std::move(pairs))});
+    const auto [s, t] = candidates[i];
+    blockingMaps[s].push_back(std::move(r.srcBlocking));
+    blockingMaps[t].push_back(std::move(r.tgtBlocking));
+    info.maps.push_back(PipelineMapEntry{s, t, std::move(r.map)});
   }
+  pairResults.clear();
+
+  // Phase 2 (lines 8-10): integrate blocking maps (eq. 3) per statement.
+  forEachUnit(poolPtr, n, [&](std::size_t s) {
+    computeStatementInfo(scop, s, blockingMaps[s], options,
+                         info.statements[s]);
+  });
+
+  // Phase 3 (lines 11-12): in-dependency maps (eq. 4), one per pipeline
+  // map, attached to the targets in map order.
+  std::vector<InRequirement> requirements(info.maps.size());
+  forEachUnit(poolPtr, info.maps.size(), [&](std::size_t i) {
+    requirements[i] = computeInRequirement(scop, info.maps[i], info, options);
+  });
+  for (std::size_t i = 0; i < info.maps.size(); ++i)
+    info.statements[info.maps[i].tgtIdx].inRequirements.push_back(
+        std::move(requirements[i]));
 
   return info;
 }

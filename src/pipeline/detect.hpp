@@ -98,6 +98,16 @@ struct DetectOptions {
   /// (e.g. the fully parallel nmm nests, or nests whose dependences do
   /// not cross block boundaries).
   bool relaxSameNestOrdering = false;
+
+  /// Workers for the detection pass itself. 0 (the default) runs
+  /// everything inline on the caller's thread — the serial reference
+  /// path. Any other value dispatches the per-pair pipeline/blocking-map
+  /// computations, the per-statement integrations and the per-map
+  /// in-dependency derivations as independent tasks on a work-stealing
+  /// DependencyThreadPool; results are gathered positionally in the
+  /// serial iteration order, so the returned PipelineInfo is
+  /// bit-identical for every thread count.
+  unsigned numThreads = 0;
 };
 
 /// Algorithm 1. Computes pipeline maps for every dependent statement pair,

@@ -98,12 +98,22 @@ IntMap IntMap::compose(const IntMap& inner) const {
   PIPOLY_CHECK_MSG(inner.out_ == in_,
                    "composition space mismatch: inner range " +
                        inner.out_.name() + " vs outer domain " + in_.name());
-  // Index this map by input tuple.
+  // Look up each inner image among this map's inputs. Blocking and
+  // access maps are usually monotone in their images, so consecutive
+  // lookups land at or after the previous hit: keep a hint iterator and
+  // only search the tail past it, falling back to a full search when the
+  // key order regresses. Monotone inners thus compose in O(m + n).
+  const auto firstLess = [](const Pair& p, const Tuple& key) {
+    return p.first < key;
+  };
   std::vector<Pair> result;
+  result.reserve(inner.pairs_.size());
+  auto hint = pairs_.begin();
   for (const Pair& ab : inner.pairs_) {
-    auto lo = std::lower_bound(
-        pairs_.begin(), pairs_.end(), ab.second,
-        [](const Pair& p, const Tuple& key) { return p.first < key; });
+    auto lo = (hint == pairs_.end() || !(hint->first < ab.second))
+                  ? std::lower_bound(pairs_.begin(), hint, ab.second, firstLess)
+                  : std::lower_bound(hint, pairs_.end(), ab.second, firstLess);
+    hint = lo;
     for (auto it = lo; it != pairs_.end() && it->first == ab.second; ++it)
       result.emplace_back(ab.first, it->second);
   }
@@ -140,7 +150,10 @@ std::optional<Tuple> IntMap::singleImageOf(const Tuple& in) const {
 }
 
 IntMap IntMap::lexmaxPerDomain() const {
+  if (isSingleValued())
+    return *this;
   IntMap m(in_, out_);
+  m.pairs_.reserve(pairs_.size());
   for (const Pair& p : pairs_) {
     if (!m.pairs_.empty() && m.pairs_.back().first == p.first)
       m.pairs_.back().second = std::max(m.pairs_.back().second, p.second);
@@ -151,7 +164,11 @@ IntMap IntMap::lexmaxPerDomain() const {
 }
 
 IntMap IntMap::lexminPerDomain() const {
+  // A single-valued map is its own per-domain extremum; skip the rebuild.
+  if (isSingleValued())
+    return *this;
   IntMap m(in_, out_);
+  m.pairs_.reserve(pairs_.size());
   for (const Pair& p : pairs_) {
     // pairs_ is sorted by (in, out): the first pair of each input group
     // already carries the lexicographically smallest output.
@@ -180,7 +197,19 @@ IntMap IntMap::restrictRange(const IntTupleSet& set) const {
 IntMap IntMap::unite(const IntMap& other) const {
   PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
                    "union of maps across different spaces");
+  if (pairs_.empty())
+    return other;
+  if (other.pairs_.empty())
+    return *this;
   IntMap m(in_, out_);
+  m.pairs_.reserve(pairs_.size() + other.pairs_.size());
+  // Disjoint-range fast path: accumulating unions (producer relations,
+  // dependence sweeps) typically append strictly later pair ranges.
+  if (pairs_.back() < other.pairs_.front()) {
+    m.pairs_.insert(m.pairs_.end(), pairs_.begin(), pairs_.end());
+    m.pairs_.insert(m.pairs_.end(), other.pairs_.begin(), other.pairs_.end());
+    return m;
+  }
   std::set_union(pairs_.begin(), pairs_.end(), other.pairs_.begin(),
                  other.pairs_.end(), std::back_inserter(m.pairs_));
   return m;

@@ -49,7 +49,20 @@ void IntTupleSet::requireSameSpace(const IntTupleSet& other) const {
 
 IntTupleSet IntTupleSet::unite(const IntTupleSet& other) const {
   requireSameSpace(other);
+  if (points_.empty())
+    return other;
+  if (other.points_.empty())
+    return *this;
   IntTupleSet out(space_);
+  out.points_.reserve(points_.size() + other.points_.size());
+  // Disjoint-range fast path: unions accumulated in sweep order append
+  // strictly later point ranges.
+  if (points_.back() < other.points_.front()) {
+    out.points_.insert(out.points_.end(), points_.begin(), points_.end());
+    out.points_.insert(out.points_.end(), other.points_.begin(),
+                       other.points_.end());
+    return out;
+  }
   std::set_union(points_.begin(), points_.end(), other.points_.begin(),
                  other.points_.end(), std::back_inserter(out.points_));
   return out;

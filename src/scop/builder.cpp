@@ -109,8 +109,8 @@ Scop ScopBuilder::build() const {
   for (const PendingStatement& p : pending_) {
     pb::IntTupleSet domain = pb::IntTupleSet::fromPolyhedron(
         pb::Space(p.name, p.depth), p.domain);
-    PIPOLY_CHECK_MSG(!domain.empty(),
-                     "statement " + p.name + " has an empty domain");
+    // Zero-extent nests are legal: they have no iterations, no accesses
+    // and no dependences, and pipeline detection gives them zero blocks.
     statements.emplace_back(p.name, p.depth, p.domain, std::move(domain),
                             p.writes, p.reads);
   }

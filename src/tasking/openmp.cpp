@@ -56,9 +56,18 @@ public:
     }
 
     // Fig. 8: copy the task input; the task frees it after running.
-    void* inputCopy = std::malloc(inputSize);
-    PIPOLY_CHECK(inputCopy != nullptr || inputSize == 0);
-    std::memcpy(inputCopy, input, inputSize);
+    // malloc(0) may legally return nullptr and memcpy from/to null is UB
+    // even for zero bytes, so a zero-size input (null `input` allowed)
+    // skips the allocation entirely — the body sees a null pointer and
+    // free(nullptr) is a no-op.
+    PIPOLY_CHECK_MSG(input != nullptr || inputSize == 0,
+                     "null task input with non-zero size");
+    void* inputCopy = nullptr;
+    if (inputSize > 0) {
+      inputCopy = std::malloc(inputSize);
+      PIPOLY_CHECK(inputCopy != nullptr);
+      std::memcpy(inputCopy, input, inputSize);
+    }
 
     char** inArr = inAddrs.data();
     const std::size_t numIn = inAddrs.size();

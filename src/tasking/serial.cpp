@@ -23,6 +23,8 @@ public:
                   const std::int64_t* inDepend, const int* inIdx,
                   std::size_t dependNum) override {
     PIPOLY_CHECK_MSG(inRegion_, "createTask outside of run()");
+    PIPOLY_CHECK_MSG(input != nullptr || inputSize == 0,
+                     "null task input with non-zero size");
     (void)outDepend;
     (void)outIdx;
     (void)inDepend;
@@ -30,9 +32,11 @@ public:
     (void)dependNum;
     // Copy-in mirrors the malloc/memcpy of Fig. 8 even though the body
     // runs synchronously, so f sees identical lifetime semantics on every
-    // backend.
+    // backend. A zero-size input (null `input` allowed) skips the copy:
+    // memcpy with a null pointer is UB even for zero bytes.
     std::vector<std::byte> copy(inputSize);
-    std::memcpy(copy.data(), input, inputSize);
+    if (inputSize > 0)
+      std::memcpy(copy.data(), input, inputSize);
     f(copy.data());
   }
 

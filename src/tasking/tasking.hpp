@@ -13,9 +13,14 @@
 //   * it waits for the most recently created task publishing each slot
 //     (inIdx[k], inDepend[k]) — a slot nobody published is ready;
 //   * `input` is copied (inputSize bytes); the copy is released after the
-//     task body ran;
-//   * tasks must be created from inside run()'s spawner (the analogue of
-//     the `omp parallel` + `omp single` region the generated code uses).
+//     task body ran. inputSize == 0 is valid (input may then be null; the
+//     body receives an unspecified, possibly null pointer);
+//   * tasks must be created from inside run() — from the spawner (the
+//     analogue of the `omp parallel` + `omp single` region the generated
+//     code uses) or, on the threadpool backend, also from running task
+//     bodies (createTask is thread-safe there; serial runs bodies on the
+//     spawner thread so nested creation is trivially safe, and the
+//     openmp backend requires creation from the single region only).
 //
 // Three backends implement the interface — the paper's §7 portability
 // claim made concrete:

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace pipoly::tasking {
@@ -14,9 +15,13 @@ namespace pipoly::tasking {
 namespace {
 
 // The work-stealing DependencyThreadPool accepts submissions from any
-// thread (task bodies included), so this backend imposes no threading
-// restriction beyond the TaskingLayer contract that createTask() runs
-// inside run()'s spawner.
+// thread (task bodies included), and this backend matches that contract:
+// createTask() may be called concurrently from the spawner and from
+// running task bodies. The last-writer slot table is the only shared
+// mutable state; a mutex held across resolve + submit + publish keeps
+// each createTask's depend semantics atomic (concurrent publishers of
+// the same slot race only in program order, exactly as OpenMP's
+// last-writer rule does).
 class ThreadPoolBackend final : public TaskingLayer {
 public:
   explicit ThreadPoolBackend(unsigned numThreads) : numThreads_(numThreads) {}
@@ -28,6 +33,10 @@ public:
                   const std::int64_t* inDepend, const int* inIdx,
                   std::size_t dependNum) override {
     PIPOLY_CHECK_MSG(pool_ != nullptr, "createTask outside of run()");
+    PIPOLY_CHECK_MSG(input != nullptr || inputSize == 0,
+                     "null task input with non-zero size");
+
+    std::lock_guard lock(lastWriterMutex_);
 
     // Resolve in-dependencies against the last writer of each slot
     // (OpenMP depend semantics). Unpublished slots are ready.
@@ -43,9 +52,12 @@ public:
     if (inputSize <= sizeof(InlinePayload)) {
       // Common case (the executor and timing layer pass pointer-sized
       // structs): carry the copy inside the closure itself instead of a
-      // heap-allocated buffer.
+      // heap-allocated buffer. inputSize == 0 lands here with a null
+      // input allowed — nothing is copied and f receives the (unused)
+      // payload storage.
       InlinePayload payload{};
-      std::memcpy(payload.bytes.data(), input, inputSize);
+      if (inputSize > 0)
+        std::memcpy(payload.bytes.data(), input, inputSize);
       id = pool_->submit([f, payload]() mutable { f(payload.bytes.data()); },
                          deps);
     } else {
@@ -79,8 +91,9 @@ private:
 
   unsigned numThreads_;
   rt::DependencyThreadPool* pool_ = nullptr;
+  std::mutex lastWriterMutex_;
   std::map<std::pair<int, std::int64_t>, rt::DependencyThreadPool::TaskId>
-      lastWriter_;
+      lastWriter_; // guarded by lastWriterMutex_
 };
 
 } // namespace

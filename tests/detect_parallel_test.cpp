@@ -1,0 +1,117 @@
+// Determinism of parallel pipeline detection: detectPipeline with
+// numThreads > 0 dispatches Algorithm 1's per-pair, per-statement and
+// per-map units onto the work-stealing DependencyThreadPool, and must
+// produce a PipelineInfo bit-identical to the inline serial reference
+// (numThreads == 0) on every kernel and option combination.
+
+#include "pipeline/detect.hpp"
+
+#include "kernels/suite.hpp"
+#include "scop/builder.hpp"
+#include "testing/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pipoly::pipeline {
+namespace {
+
+void expectInfoEqual(const PipelineInfo& a, const PipelineInfo& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.maps.size(), b.maps.size()) << label;
+  for (std::size_t i = 0; i < a.maps.size(); ++i) {
+    EXPECT_EQ(a.maps[i].srcIdx, b.maps[i].srcIdx) << label << " map " << i;
+    EXPECT_EQ(a.maps[i].tgtIdx, b.maps[i].tgtIdx) << label << " map " << i;
+    EXPECT_EQ(a.maps[i].map, b.maps[i].map) << label << " map " << i;
+  }
+  ASSERT_EQ(a.statements.size(), b.statements.size()) << label;
+  for (std::size_t s = 0; s < a.statements.size(); ++s) {
+    const StatementPipelineInfo& x = a.statements[s];
+    const StatementPipelineInfo& y = b.statements[s];
+    EXPECT_EQ(x.blocking, y.blocking) << label << " stmt " << s;
+    EXPECT_EQ(x.expansion, y.expansion) << label << " stmt " << s;
+    EXPECT_EQ(x.blockReps, y.blockReps) << label << " stmt " << s;
+    EXPECT_EQ(x.outDependency, y.outDependency) << label << " stmt " << s;
+    EXPECT_EQ(x.chainOrdering, y.chainOrdering) << label << " stmt " << s;
+    EXPECT_EQ(x.selfEdges, y.selfEdges) << label << " stmt " << s;
+    ASSERT_EQ(x.inRequirements.size(), y.inRequirements.size())
+        << label << " stmt " << s;
+    for (std::size_t r = 0; r < x.inRequirements.size(); ++r) {
+      EXPECT_EQ(x.inRequirements[r].srcStmtIdx, y.inRequirements[r].srcStmtIdx)
+          << label << " stmt " << s << " req " << r;
+      EXPECT_EQ(x.inRequirements[r].map, y.inRequirements[r].map)
+          << label << " stmt " << s << " req " << r;
+    }
+  }
+}
+
+void expectParallelMatchesSerial(const scop::Scop& scop, DetectOptions opt,
+                                 const std::string& label) {
+  opt.numThreads = 0;
+  const PipelineInfo serial = detectPipeline(scop, opt);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    opt.numThreads = threads;
+    const PipelineInfo parallel = detectPipeline(scop, opt);
+    expectInfoEqual(serial, parallel,
+                    label + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(DetectParallelTest, MatchesSerialOnFixtureKernels) {
+  expectParallelMatchesSerial(testing::listing1(16), {}, "listing1");
+  expectParallelMatchesSerial(testing::listing3(16), {}, "listing3");
+  expectParallelMatchesSerial(testing::chain(5, 9), {}, "chain");
+}
+
+TEST(DetectParallelTest, MatchesSerialOnTable9Suite) {
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, 12);
+    expectParallelMatchesSerial(scop, {}, spec.name);
+  }
+}
+
+TEST(DetectParallelTest, MatchesSerialAcrossOptionCombinations) {
+  const scop::Scop scop = testing::listing3(14);
+  {
+    DetectOptions opt;
+    opt.coarsening = 3;
+    expectParallelMatchesSerial(scop, opt, "coarsening=3");
+  }
+  {
+    DetectOptions opt;
+    opt.integration = DetectOptions::Integration::FirstMapOnly;
+    expectParallelMatchesSerial(scop, opt, "first-map-only");
+  }
+  {
+    DetectOptions opt;
+    opt.relaxSameNestOrdering = true;
+    expectParallelMatchesSerial(scop, opt, "relaxed-ordering");
+  }
+}
+
+TEST(DetectParallelTest, RepeatedParallelRunsAreIdentical) {
+  const scop::Scop scop = testing::listing3(14);
+  DetectOptions opt;
+  opt.numThreads = 4;
+  const PipelineInfo first = detectPipeline(scop, opt);
+  for (int rep = 0; rep < 3; ++rep)
+    expectInfoEqual(first, detectPipeline(scop, opt),
+                    "rep " + std::to_string(rep));
+}
+
+TEST(DetectParallelTest, ParallelHandlesEmptyDomainStatements) {
+  scop::ScopBuilder b("holes");
+  std::size_t A = b.array("A", {8});
+  std::size_t E = b.array("E", {8});
+  std::size_t C = b.array("C", {8});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 8).write(A, {S.dim(0)});
+  auto M = b.statement("M", 1); // zero-extent nest
+  M.bound(0, 0, 0).write(E, {M.dim(0)}).read(A, {M.dim(0)});
+  auto U = b.statement("U", 1);
+  U.bound(0, 0, 8).write(C, {U.dim(0)}).read(A, {U.dim(0)});
+  const scop::Scop scop = b.build();
+  expectParallelMatchesSerial(scop, {}, "empty-domain");
+}
+
+} // namespace
+} // namespace pipoly::pipeline

@@ -170,6 +170,53 @@ TEST(EdgeCaseTest, SlabWriteThroughOracleAndPipeline) {
   EXPECT_TRUE(verify::selfCheck(scop, prog, *layer).ok);
 }
 
+TEST(EdgeCaseTest, EmptyDomainStatementGetsZeroBlocks) {
+  // A zero-extent nest has no iterations: detection must give it zero
+  // blocks and no dependencies instead of tripping the "blocking an
+  // empty domain" check.
+  scop::ScopBuilder b("hole");
+  std::size_t A = b.array("A", {8});
+  std::size_t E = b.array("E", {8});
+  std::size_t C = b.array("C", {8});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 8).write(A, {S.dim(0)});
+  auto M = b.statement("M", 1);
+  M.bound(0, 0, 0).write(E, {M.dim(0)}).read(A, {M.dim(0)});
+  auto U = b.statement("U", 1);
+  U.bound(0, 0, 8).write(C, {U.dim(0)}).read(A, {U.dim(0)});
+  scop::Scop scop = b.build();
+
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+  EXPECT_TRUE(info.hasPipeline()); // S -> U still pipelines
+  EXPECT_EQ(info.statements[1].blockReps.size(), 0u);
+  EXPECT_TRUE(info.statements[1].blocking.empty());
+  EXPECT_TRUE(info.statements[1].inRequirements.empty());
+  for (const pipeline::PipelineMapEntry& entry : info.maps) {
+    EXPECT_NE(entry.srcIdx, 1u);
+    EXPECT_NE(entry.tgtIdx, 1u);
+  }
+
+  // The relaxed-ordering variant must survive empty domains too.
+  pipeline::DetectOptions relaxed;
+  relaxed.relaxSameNestOrdering = true;
+  pipeline::PipelineInfo relaxedInfo = pipeline::detectPipeline(scop, relaxed);
+  EXPECT_TRUE(relaxedInfo.statements[1].selfEdges.empty());
+}
+
+TEST(EdgeCaseTest, AllEmptyDomainsYieldNoPipeline) {
+  scop::ScopBuilder b("void");
+  std::size_t A = b.array("A", {4});
+  std::size_t B = b.array("B", {4});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 0).write(A, {S.dim(0)});
+  auto T = b.statement("T", 1);
+  T.bound(0, 0, 0).write(B, {T.dim(0)}).read(A, {T.dim(0)});
+  scop::Scop scop = b.build();
+  pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+  EXPECT_FALSE(info.hasPipeline());
+  EXPECT_EQ(info.totalBlocks(), 0u);
+}
+
 TEST(EdgeCaseTest, ZeroReadProducerChain) {
   // The first nest reads nothing at all; still pipelines into the second.
   scop::ScopBuilder b("noreads");

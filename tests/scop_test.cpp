@@ -49,11 +49,12 @@ TEST(ScopBuilderTest, Listing1Shape) {
   EXPECT_EQ(scop.statement(1).domain().size(), 9u);  // 3x3
 }
 
-TEST(ScopBuilderTest, EmptyDomainThrows) {
-  ScopBuilder b("bad");
+TEST(ScopBuilderTest, EmptyDomainIsLegalAndHasNoPoints) {
+  ScopBuilder b("zero-extent");
   auto S = b.statement("S", 1);
   S.bound(0, 5, 5);
-  EXPECT_THROW((void)b.build(), Error);
+  Scop scop = b.build();
+  EXPECT_EQ(scop.statement(0).domain().size(), 0u);
 }
 
 TEST(ScopBuilderTest, TriangularBounds) {

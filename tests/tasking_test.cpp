@@ -93,6 +93,86 @@ TEST(TaskingLayerTest, InputIsCopiedAtCreation) {
   }
 }
 
+std::atomic<int> gZeroSizeRuns{0};
+
+void zeroSizeBody(void*) { gZeroSizeRuns.fetch_add(1); }
+
+TEST(TaskingLayerTest, ZeroSizeInputWithNullPointerIsValid) {
+  // inputSize == 0 with a null input must not crash on any backend:
+  // malloc(0)/memcpy-on-null are UB, so the backends skip the copy.
+  for (auto& layer : allBackends()) {
+    gZeroSizeRuns = 0;
+    layer->run([&] {
+      for (std::int64_t k = 0; k < 8; ++k)
+        layer->createTask(&zeroSizeBody, nullptr, 0, k, 0, nullptr, nullptr,
+                          0);
+    });
+    EXPECT_EQ(gZeroSizeRuns.load(), 8) << layer->name();
+  }
+}
+
+TEST(TaskingLayerTest, ZeroSizeInputTasksStillHonorDependencies) {
+  for (auto& layer : allBackends()) {
+    static std::atomic<int> order;
+    order = 0;
+    static std::atomic<int> firstSeen, secondSeen;
+    firstSeen = -1;
+    secondSeen = -1;
+    auto first = +[](void*) { firstSeen = order.fetch_add(1); };
+    auto second = +[](void*) { secondSeen = order.fetch_add(1); };
+    layer->run([&] {
+      layer->createTask(first, nullptr, 0, /*outDepend=*/7, /*outIdx=*/0,
+                        nullptr, nullptr, 0);
+      std::int64_t inDep = 7;
+      int inIdx = 0;
+      layer->createTask(second, nullptr, 0, 8, 0, &inDep, &inIdx, 1);
+    });
+    EXPECT_EQ(firstSeen.load(), 0) << layer->name();
+    EXPECT_EQ(secondSeen.load(), 1) << layer->name();
+  }
+}
+
+/// Payload for tasks that create follow-up tasks from their own body —
+/// the threadpool backend advertises thread-safe createTask, so the
+/// last-writer table must be guarded (this test races task-body
+/// submissions against spawner submissions; TSAN validates the guard).
+struct SpawnerPayload {
+  TaskingLayer* layer;
+  std::atomic<int>* counter;
+  std::int64_t slot;
+};
+
+void leafBody(void* raw) {
+  static_cast<SpawnerPayload*>(raw)->counter->fetch_add(1);
+}
+
+void rootBody(void* raw) {
+  auto* p = static_cast<SpawnerPayload*>(raw);
+  p->counter->fetch_add(1);
+  // Children chain on this root's published slot and publish their own.
+  for (int c = 0; c < 8; ++c) {
+    SpawnerPayload child{p->layer, p->counter, 0};
+    std::int64_t inDep = p->slot;
+    int inIdx = 1;
+    p->layer->createTask(&leafBody, &child, sizeof(child),
+                         /*outDepend=*/p->slot * 100 + c, /*outIdx=*/2,
+                         &inDep, &inIdx, 1);
+  }
+}
+
+TEST(TaskingLayerTest, TaskBodiesMayCreateTasksOnThreadPoolBackend) {
+  auto layer = makeThreadPoolBackend(4);
+  std::atomic<int> counter{0};
+  layer->run([&] {
+    for (std::int64_t r = 0; r < 16; ++r) {
+      SpawnerPayload p{layer.get(), &counter, r};
+      layer->createTask(&rootBody, &p, sizeof(p), /*outDepend=*/r,
+                        /*outIdx=*/1, nullptr, nullptr, 0);
+    }
+  });
+  EXPECT_EQ(counter.load(), 16 + 16 * 8);
+}
+
 TEST(TaskingLayerTest, UnpublishedSlotIsImmediatelyReady) {
   for (auto& layer : allBackends()) {
     std::atomic<int> counter{0};
