@@ -8,6 +8,8 @@
 #include "support/stopwatch.hpp"
 #include "tasking/tasking.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -36,6 +38,37 @@ inline double measureTaskOverhead() {
                         0);
   });
   return sw.seconds() / kTasks;
+}
+
+/// Measures the extra per-task cost (seconds) of carrying one in-dependency
+/// through the thread-pool backend: a chain of dependent empty tasks against
+/// the independent-task baseline. Feeds CostModel::dependOverhead so the
+/// simulator can price depend-list length.
+inline double measureDependOverhead() {
+  constexpr int kTasks = 2000;
+  auto layer = tasking::makeThreadPoolBackend(4);
+  auto noop = +[](void*) {};
+  int dummy = 0;
+  auto spawnChain = [&](bool chained) {
+    layer->run([&] {
+      for (int i = 0; i < kTasks; ++i) {
+        std::int64_t dep = i - 1;
+        int depIdx = 0;
+        const bool withDep = chained && i > 0;
+        layer->createTask(noop, &dummy, sizeof(dummy), i, 0,
+                          withDep ? &dep : nullptr,
+                          withDep ? &depIdx : nullptr, withDep ? 1 : 0);
+      }
+    });
+  };
+  spawnChain(true); // warm-up
+  Stopwatch indepWatch;
+  spawnChain(false);
+  const double indep = indepWatch.seconds();
+  Stopwatch chainWatch;
+  spawnChain(true);
+  const double chain = chainWatch.seconds();
+  return std::max(0.0, (chain - indep) / kTasks);
 }
 
 /// Fixed-width table printer.

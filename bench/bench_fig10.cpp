@@ -15,6 +15,8 @@
 #include "codegen/task_program.hpp"
 #include "kernels/compute.hpp"
 #include "kernels/suite.hpp"
+#include "opt/optimizer.hpp"
+#include "support/stopwatch.hpp"
 
 #include <cstdio>
 #include <map>
@@ -85,6 +87,72 @@ int main() {
     table.addRow(std::move(row));
   }
   table.print();
+
+  // -- E16: the task-graph optimizer on the same suite --------------------
+  // Edge/task thinning plus simulated makespan and measured dependency-
+  // resolution cost (hashed per-run resolution of the raw program vs the
+  // interned slot table of the optimized program, reused across runs).
+  const pb::Value optN = 48;
+  const double dependOverhead = bench::measureDependOverhead();
+  std::printf("\n-- E16: task-graph optimizer (N=%lld, fusion width %zu, "
+              "measured depend overhead %.3f us) --\n",
+              static_cast<long long>(optN),
+              opt::OptimizeOptions{}.fusionWidth, dependOverhead * 1e6);
+
+  bench::Table optTable({"prog", "tasks", "tasks_opt", "edges", "edges_opt",
+                         "removed", "makespan_ms", "makespan_opt_ms",
+                         "resolve_us", "resolve_opt_us"});
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, optN);
+    codegen::TaskProgram prog = codegen::compilePipeline(scop);
+    codegen::TaskProgram optimized = prog;
+    const opt::OptimizeStats stats = opt::optimize(optimized);
+    const opt::SlotTable slots = opt::buildSlotTable(optimized);
+
+    sim::CostModel model;
+    model.taskOverhead = taskOverhead;
+    model.dependOverhead = dependOverhead;
+    for (int num : spec.nums)
+      model.iterationCost.push_back(kernelCost(num, 1));
+
+    const sim::SimConfig simCfg{8};
+    const double before = sim::simulate(prog, model, simCfg).makespan;
+    const double after =
+        sim::simulate(optimized, slots, model, simCfg).makespan;
+
+    // Dependency-resolution cost: what a backend pays per execution to
+    // turn (idx, tag) pairs into producer tasks. Legacy: a hashed index
+    // built and probed per run. Optimized: O(1) walks of the prebuilt
+    // interned slot table.
+    constexpr int kReps = 50;
+    std::uint64_t sink = 0;
+    Stopwatch mapWatch;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const codegen::OutOwnerIndex owner = prog.buildOutOwnerIndex();
+      for (const codegen::Task& t : prog.tasks)
+        for (const codegen::TaskDep& d : t.in)
+          sink += owner.find({d.idx, d.tag})->second;
+    }
+    const double resolveMap = mapWatch.seconds() / kReps;
+    Stopwatch slotWatch;
+    for (int rep = 0; rep < kReps; ++rep)
+      for (const codegen::Task& t : optimized.tasks)
+        for (const std::uint32_t* s = slots.inBegin(t.id);
+             s != slots.inEnd(t.id); ++s)
+          sink += *s;
+    const double resolveSlots = slotWatch.seconds() / kReps;
+    volatile std::uint64_t keep = sink; // keep the resolve loops alive
+    (void)keep;
+
+    optTable.addRow(
+        {spec.name, std::to_string(stats.tasksBefore),
+         std::to_string(stats.tasksAfter), std::to_string(stats.edgesBefore),
+         std::to_string(stats.edgesAfter),
+         bench::fmt(stats.edgeReductionPercent(), 1) + "%",
+         bench::fmt(before * 1e3, 3), bench::fmt(after * 1e3, 3),
+         bench::fmt(resolveMap * 1e6, 1), bench::fmt(resolveSlots * 1e6, 1)});
+  }
+  optTable.print();
 
   std::printf("\nPaper reference (Fig. 10): P1 1.7-1.9, P2 1.3-1.6, "
               "P3 2.4-2.8, P4 1.3-1.4, P5 3.0-3.5, P6 1.6-2.0, P7 1.9-2.1, "

@@ -14,6 +14,7 @@
 #include "baselines/polly_like.hpp"
 #include "codegen/task_program.hpp"
 #include "kernels/matmul.hpp"
+#include "opt/optimizer.hpp"
 
 #include <cmath>
 #include <cstdio>
@@ -61,7 +62,8 @@ int main() {
               dotPlain * 1e6, dotTrans * 1e6, tiledPerElement * 1e6,
               taskOverhead * 1e6);
 
-  bench::Table table({"kernel", "pipeline", "polly_8", "polly", "seq_ms"});
+  bench::Table table(
+      {"kernel", "pipeline", "pipeline_opt", "polly_8", "polly", "seq_ms"});
 
   using V = kernels::MatmulVariant;
   for (std::size_t len : {2u, 3u, 4u}) {
@@ -81,6 +83,14 @@ int main() {
       codegen::TaskProgram prog = codegen::compilePipeline(scop);
       sim::SimResult pipe = sim::simulate(prog, model, sim::SimConfig{8});
 
+      // Same task graph after the optimizer (transitive reduction + chain
+      // fusion), dependencies resolved through the interned slot table.
+      codegen::TaskProgram optimized = prog;
+      opt::optimize(optimized);
+      sim::SimResult pipeOpt =
+          sim::simulate(optimized, opt::buildSlotTable(optimized), model,
+                        sim::SimConfig{8});
+
       // Polly: tiled per-element cost where it can optimize (nmm/nmmt);
       // for gnmm/gnmmt Polly leaves the program untouched.
       sim::CostModel pollyModel = model;
@@ -98,7 +108,9 @@ int main() {
       const double tn =
           baselines::pollyLikeSchedule(scop, pollyModel, pollyN).totalTime;
 
-      table.addRow({kernelLabel(v, len), bench::fmt(log2Speedup(seq, pipe.makespan)),
+      table.addRow({kernelLabel(v, len),
+                    bench::fmt(log2Speedup(seq, pipe.makespan)),
+                    bench::fmt(log2Speedup(seq, pipeOpt.makespan)),
                     bench::fmt(log2Speedup(seq, t8)),
                     bench::fmt(log2Speedup(seq, tn)),
                     bench::fmt(seq * 1e3, 1)});

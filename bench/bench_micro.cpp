@@ -5,6 +5,7 @@
 #include "codegen/task_program.hpp"
 #include "frontend/frontend.hpp"
 #include "kernels/suite.hpp"
+#include "opt/optimizer.hpp"
 #include "pipeline/blocking.hpp"
 #include "pipeline/detect.hpp"
 #include "pipeline/pipeline_map.hpp"
@@ -16,6 +17,8 @@
 #include "tasking/tasking.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
 
 namespace {
 
@@ -136,6 +139,50 @@ void BM_CompilePipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompilePipeline)->Arg(8)->Arg(16);
+
+void BM_Optimize(benchmark::State& state) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"),
+                                          state.range(0));
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  for (auto _ : state) {
+    codegen::TaskProgram copy = prog;
+    auto stats = opt::optimize(copy);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_Optimize)->Arg(16)->Arg(32);
+
+// Dependency resolution, legacy vs interned: what a backend pays per run
+// to map each in-dependency (idx, tag) to its producer.
+void BM_DependResolveHashed(benchmark::State& state) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"), 32);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  for (auto _ : state) {
+    const codegen::OutOwnerIndex owner = prog.buildOutOwnerIndex();
+    std::uint64_t sink = 0;
+    for (const codegen::Task& t : prog.tasks)
+      for (const codegen::TaskDep& d : t.in)
+        sink += owner.find({d.idx, d.tag})->second;
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_DependResolveHashed);
+
+void BM_DependResolveSlots(benchmark::State& state) {
+  scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"), 32);
+  codegen::TaskProgram prog = codegen::compilePipeline(scop);
+  opt::optimize(prog);
+  const opt::SlotTable slots = opt::buildSlotTable(prog);
+  for (auto _ : state) {
+    std::uint64_t sink = 0;
+    for (const codegen::Task& t : prog.tasks)
+      for (const std::uint32_t* s = slots.inBegin(t.id);
+           s != slots.inEnd(t.id); ++s)
+        sink += *s;
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_DependResolveSlots);
 
 void BM_Simulate(benchmark::State& state) {
   scop::Scop scop = kernels::buildProgram(kernels::programByName("P5"), 16);

@@ -7,6 +7,11 @@
 // binary reproduces the paper's Fig. 10 setup directly, with no
 // simulation involved. The simulated expectation is printed next to the
 // measurement for comparison.
+//
+// `--smoke` runs a fast correctness gate instead (used by CI): every
+// Table-9 program executes sequentially, pipelined, and pipelined after
+// the task-graph optimizer (through the interned-slot executor), and the
+// three result fingerprints must agree. Exits non-zero on any mismatch.
 
 #include "bench_common.hpp"
 
@@ -14,14 +19,78 @@
 #include "kernels/compute.hpp"
 #include "kernels/suite.hpp"
 #include "kernels/suite_runner.hpp"
+#include "opt/optimizer.hpp"
 #include "sim/calibrate.hpp"
 #include "tasking/executor.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
-int main() {
-  using namespace pipoly;
+namespace {
+
+using namespace pipoly;
+
+/// CI smoke gate: optimized execution must be observationally identical
+/// to the unoptimized and sequential runs on every Table-9 program.
+int runSmoke() {
+  const pb::Value n = 10;
+  const int size = 1;
+  std::printf("== smoke: optimizer preserves kernel results "
+              "(N=%lld, SIZE=%d) ==\n",
+              static_cast<long long>(n), size);
+
+  auto layer = tasking::makeThreadPoolBackend(
+      std::max(2u, std::thread::hardware_concurrency()));
+  bench::Table table(
+      {"prog", "tasks", "tasks_opt", "edges", "edges_opt", "status"});
+  int failures = 0;
+
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, n);
+    codegen::TaskProgram prog = codegen::compilePipeline(scop);
+    codegen::TaskProgram optimized = prog;
+    const opt::OptimizeStats stats = opt::optimize(optimized);
+    optimized.validate(scop);
+    const opt::SlotTable slots = opt::buildSlotTable(optimized);
+
+    kernels::SuiteRunner runner(spec, scop, size);
+    tasking::executeSequential(scop, runner.executor());
+    const std::uint64_t seqFp = runner.fingerprint();
+
+    runner.reset();
+    tasking::executeTaskProgram(prog, *layer, runner.executor());
+    const std::uint64_t pipeFp = runner.fingerprint();
+
+    runner.reset();
+    tasking::executeTaskProgram(optimized, slots, *layer, runner.executor());
+    const std::uint64_t optFp = runner.fingerprint();
+
+    const bool ok = pipeFp == seqFp && optFp == seqFp;
+    failures += ok ? 0 : 1;
+    table.addRow({spec.name, std::to_string(stats.tasksBefore),
+                  std::to_string(stats.tasksAfter),
+                  std::to_string(stats.edgesBefore),
+                  std::to_string(stats.edgesAfter),
+                  ok ? "ok"
+                     : (pipeFp != seqFp ? "FAIL (pipelined)"
+                                        : "FAIL (optimized)")});
+  }
+  table.print();
+  std::printf("%s\n", failures == 0
+                          ? "smoke PASS: optimized == unoptimized == "
+                            "sequential on all programs"
+                          : "smoke FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      return runSmoke();
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("== Real execution: pipelined vs sequential wall-clock ==\n");
   std::printf("host hardware threads: %u%s\n\n", hw,
@@ -29,14 +98,17 @@ int main() {
                         "column for the multi-core expectation)"
                       : "");
 
-  bench::Table table({"prog", "seq_ms", "pipelined_ms", "measured_speedup",
-                      "simulated_speedup(8w)"});
+  bench::Table table({"prog", "seq_ms", "pipelined_ms", "optimized_ms",
+                      "measured_speedup", "simulated_speedup(8w)"});
 
   const int size = 2;
   for (const char* name : {"P1", "P3", "P5"}) {
     const kernels::ProgramSpec& spec = kernels::programByName(name);
     scop::Scop scop = kernels::buildProgram(spec, 12);
     codegen::TaskProgram prog = codegen::compilePipeline(scop);
+    codegen::TaskProgram optimized = prog;
+    opt::optimize(optimized);
+    const opt::SlotTable slots = opt::buildSlotTable(optimized);
 
     kernels::SuiteRunner runner(spec, scop, size);
 
@@ -52,6 +124,11 @@ int main() {
     tasking::executeTaskProgram(prog, *layer, runner.executor());
     const double pipe = pipeWatch.seconds();
 
+    runner.reset();
+    Stopwatch optWatch;
+    tasking::executeTaskProgram(optimized, slots, *layer, runner.executor());
+    const double optTime = optWatch.seconds();
+
     // Simulated expectation on the paper's 8 hardware threads, with a
     // cost model calibrated from the same runner.
     runner.reset();
@@ -60,7 +137,7 @@ int main() {
     sim::SimResult r = sim::simulate(prog, model, sim::SimConfig{8});
 
     table.addRow({name, bench::fmt(seq * 1e3, 2), bench::fmt(pipe * 1e3, 2),
-                  bench::fmt(seq / pipe),
+                  bench::fmt(optTime * 1e3, 2), bench::fmt(seq / pipe),
                   bench::fmt(r.speedupOver(sim::sequentialTime(scop, model)))});
   }
   table.print();

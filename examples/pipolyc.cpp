@@ -11,6 +11,9 @@
 //     --tasks       print the task program
 //     --dot         print the task graph in Graphviz format
 //     --json        print the task program as JSON
+//     --optimize    run the task-graph optimizer (transitive reduction +
+//                   chain fusion) before printing/simulating; --dot and
+//                   --json then carry pre/post edge and task counts
 //     --report      print the human-readable pipeline report
 //     --emit-c      print a self-contained OpenMP C program
 //     --simulate N  print the simulated speedup on N workers
@@ -30,6 +33,7 @@
 #include "codegen/json_export.hpp"
 #include "codegen/task_program.hpp"
 #include "frontend/frontend.hpp"
+#include "opt/optimizer.hpp"
 #include "pipeline/detect.hpp"
 #include "pipeline/report.hpp"
 #include "schedule/build.hpp"
@@ -41,6 +45,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 using namespace pipoly;
@@ -63,7 +68,8 @@ for (i = 0; i < N/2 - 1; i++)
 int usage() {
   std::fprintf(stderr,
                "usage: pipolyc [--maps] [--tree] [--ast] [--tasks] [--dot] "
-               "[--emit-c] [--simulate N] [--timeline N] [file]\n");
+               "[--optimize] [--emit-c] [--simulate N] [--timeline N] "
+               "[file]\n");
   return 2;
 }
 
@@ -72,7 +78,7 @@ int usage() {
 int main(int argc, char** argv) {
   bool maps = false, tree = false, astOut = false, annotated = false,
        tasks = false, dot = false, json = false, report = false,
-       emitC = false, verifyRun = false;
+       emitC = false, verifyRun = false, optimizeRun = false;
   unsigned simulateWorkers = 0, timelineWorkers = 0, tuneWorkers = 0;
   std::string path;
   frontend::ParamOverrides params;
@@ -97,6 +103,8 @@ int main(int argc, char** argv) {
       report = true;
     else if (arg == "--verify")
       verifyRun = true;
+    else if (arg == "--optimize")
+      optimizeRun = true;
     else if (arg == "--emit-c")
       emitC = true;
     else if (arg == "--param" && i + 1 < argc) {
@@ -121,8 +129,8 @@ int main(int argc, char** argv) {
     }
   }
   if (!maps && !tree && !astOut && !annotated && !tasks && !dot && !json &&
-      !report && !emitC && !verifyRun && simulateWorkers == 0 &&
-      timelineWorkers == 0 && tuneWorkers == 0)
+      !report && !emitC && !verifyRun && !optimizeRun &&
+      simulateWorkers == 0 && timelineWorkers == 0 && tuneWorkers == 0)
     maps = astOut = true; // sensible default
 
   std::string source = kDemoProgram;
@@ -144,6 +152,16 @@ int main(int argc, char** argv) {
     ast::Ast lowered = ast::buildAst(scop, *schedTree);
     codegen::TaskProgram prog = codegen::lowerToTasks(scop, lowered);
     prog.validate(scop);
+
+    std::optional<codegen::ProgramCounts> preOptCounts;
+    if (optimizeRun) {
+      preOptCounts = prog.counts();
+      const opt::OptimizeStats stats = opt::optimize(prog);
+      prog.validate(scop);
+      // stderr: --dot/--json/--emit-c pipe stdout into other tools.
+      std::fprintf(stderr, "== optimizer ==\n%s\n\n",
+                   stats.toString().c_str());
+    }
 
     if (maps) {
       std::printf("== pipeline maps ==\n");
@@ -170,9 +188,9 @@ int main(int argc, char** argv) {
     if (tasks)
       std::printf("== tasks ==\n%s\n", prog.toString().c_str());
     if (dot)
-      std::printf("%s", codegen::toDot(prog, scop).c_str());
+      std::printf("%s", codegen::toDot(prog, scop, preOptCounts).c_str());
     if (json)
-      std::printf("%s", codegen::toJson(prog, scop).c_str());
+      std::printf("%s", codegen::toJson(prog, scop, preOptCounts).c_str());
     if (report)
       std::printf("%s\n", pipeline::renderReport(scop, info).c_str());
     if (emitC)

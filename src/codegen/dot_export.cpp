@@ -6,11 +6,18 @@
 
 namespace pipoly::codegen {
 
-std::string toDot(const TaskProgram& program, const scop::Scop& scop) {
+std::string toDot(const TaskProgram& program, const scop::Scop& scop,
+                  const std::optional<ProgramCounts>& preOptCounts) {
   std::ostringstream os;
   os << "digraph tasks {\n"
      << "  rankdir=LR;\n"
      << "  node [shape=box, fontsize=10];\n";
+  if (preOptCounts) {
+    const ProgramCounts after = program.counts();
+    os << "  label=\"optimized: " << preOptCounts->tasks << " -> "
+       << after.tasks << " tasks, " << preOptCounts->inEdges << " -> "
+       << after.inEdges << " edges\";\n  labelloc=t;\n";
+  }
 
   // One cluster per statement, tasks in block order.
   for (std::size_t s = 0; s < program.numStatements; ++s) {
@@ -26,11 +33,14 @@ std::string toDot(const TaskProgram& program, const scop::Scop& scop) {
     os << "  }\n";
   }
 
+  // Resolve edges through the owner index built once — the per-edge
+  // taskWithOut() scan was O(tasks * edges) on large graphs.
+  const OutOwnerIndex owner = program.buildOutOwnerIndex();
   for (const Task& t : program.tasks) {
     for (const TaskDep& dep : t.in) {
-      std::optional<std::size_t> src = program.taskWithOut(dep);
-      PIPOLY_CHECK(src.has_value());
-      os << "  t" << *src << " -> t" << t.id;
+      auto src = owner.find({dep.idx, dep.tag});
+      PIPOLY_CHECK(src != owner.end());
+      os << "  t" << src->second << " -> t" << t.id;
       if (dep.selfOrdering)
         os << " [style=dashed]";
       os << ";\n";

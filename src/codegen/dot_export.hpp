@@ -7,10 +7,16 @@
 
 #include "codegen/task_program.hpp"
 
+#include <optional>
 #include <string>
 
 namespace pipoly::codegen {
 
-std::string toDot(const TaskProgram& program, const scop::Scop& scop);
+/// When `preOptCounts` is given (the counts of the program before the
+/// task-graph optimizer ran), the graph label reports the pre/post task
+/// and edge counts so shrinkage is visible on the rendered graph.
+std::string toDot(const TaskProgram& program, const scop::Scop& scop,
+                  const std::optional<ProgramCounts>& preOptCounts =
+                      std::nullopt);
 
 } // namespace pipoly::codegen

@@ -2,7 +2,6 @@
 
 #include "support/assert.hpp"
 
-#include <map>
 #include <sstream>
 
 namespace pipoly::codegen {
@@ -22,19 +21,25 @@ std::string escape(const std::string& s) {
 
 } // namespace
 
-std::string toJson(const TaskProgram& program, const scop::Scop& scop) {
-  std::map<std::pair<int, std::int64_t>, std::size_t> owner;
-  for (const Task& t : program.tasks)
-    owner[{t.out.idx, t.out.tag}] = t.id;
+std::string toJson(const TaskProgram& program, const scop::Scop& scop,
+                   const std::optional<ProgramCounts>& preOptCounts) {
+  const OutOwnerIndex owner = program.buildOutOwnerIndex();
 
-  std::map<std::size_t, std::size_t> blocksPerStmt;
+  std::vector<std::size_t> blocksPerStmt(scop.numStatements(), 0);
   for (const Task& t : program.tasks)
     ++blocksPerStmt[t.stmtIdx];
 
   std::ostringstream os;
   os << "{\n  \"scop\": \"" << escape(scop.name()) << "\",\n"
-     << "  \"chainOrdering\": " << (program.chainOrdering ? "true" : "false")
-     << ",\n  \"statements\": [\n";
+     << "  \"chainOrdering\": " << (program.chainOrdering ? "true" : "false");
+  if (preOptCounts) {
+    const ProgramCounts after = program.counts();
+    os << ",\n  \"optimization\": {\"tasksBefore\": " << preOptCounts->tasks
+       << ", \"tasks\": " << after.tasks
+       << ", \"edgesBefore\": " << preOptCounts->inEdges
+       << ", \"edges\": " << after.inEdges << '}';
+  }
+  os << ",\n  \"statements\": [\n";
   for (std::size_t s = 0; s < scop.numStatements(); ++s) {
     const scop::Statement& stmt = scop.statement(s);
     os << "    {\"name\": \"" << escape(stmt.name()) << "\", \"depth\": "

@@ -5,17 +5,25 @@
 //
 // {
 //   "scop": "...",
+//   "optimization": { "tasksBefore", "tasks", "edgesBefore", "edges" },
 //   "statements": [ { "name", "depth", "iterations", "blocks" } ],
 //   "tasks": [ { "id", "stmt", "block": [..], "iterations",
 //                "deps": [ { "task", "self" } ] } ]
 // }
+//
+// The "optimization" object is present only when the caller passes the
+// pre-optimization counts (compare against program.counts() to see how
+// much the task-graph optimizer shrank the program).
 
 #include "codegen/task_program.hpp"
 
+#include <optional>
 #include <string>
 
 namespace pipoly::codegen {
 
-std::string toJson(const TaskProgram& program, const scop::Scop& scop);
+std::string toJson(const TaskProgram& program, const scop::Scop& scop,
+                   const std::optional<ProgramCounts>& preOptCounts =
+                       std::nullopt);
 
 } // namespace pipoly::codegen

@@ -6,7 +6,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <sstream>
 
 namespace pipoly::codegen {
@@ -32,20 +31,38 @@ std::optional<std::size_t> TaskProgram::taskWithOut(const TaskDep& dep) const {
   return std::nullopt;
 }
 
+OutOwnerIndex TaskProgram::buildOutOwnerIndex() const {
+  OutOwnerIndex owner;
+  owner.reserve(tasks.size() * 2);
+  for (const Task& t : tasks)
+    owner.emplace(std::make_pair(t.out.idx, t.out.tag), t.id);
+  return owner;
+}
+
+ProgramCounts TaskProgram::counts() const {
+  ProgramCounts c;
+  c.tasks = tasks.size();
+  for (const Task& t : tasks)
+    c.inEdges += t.in.size();
+  return c;
+}
+
 void TaskProgram::validate(const scop::Scop& scop) const {
   PIPOLY_CHECK(numStatements == scop.numStatements());
 
   // Out-dependencies are unique and tasks are creation-ordered by id.
-  std::map<std::pair<int, std::int64_t>, std::size_t> outOwner;
+  // O(n) expected through the hashed owner index.
+  OutOwnerIndex outOwner;
+  outOwner.reserve(tasks.size() * 2);
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     PIPOLY_CHECK(tasks[i].id == i);
-    auto key = std::make_pair(tasks[i].out.idx, tasks[i].out.tag);
-    PIPOLY_CHECK_MSG(!outOwner.count(key), "duplicate out-dependency tag");
-    outOwner[key] = i;
+    auto [it, fresh] = outOwner.try_emplace(
+        std::make_pair(tasks[i].out.idx, tasks[i].out.tag), i);
+    PIPOLY_CHECK_MSG(fresh, "duplicate out-dependency tag");
   }
 
   // Every in-dependency must resolve to an earlier task (OpenMP depend
-  // "last writer" semantics with our creation order).
+  // "last writer" semantics with our creation order). O(deps) expected.
   for (const Task& t : tasks) {
     for (const TaskDep& dep : t.in) {
       auto it = outOwner.find({dep.idx, dep.tag});
@@ -57,37 +74,39 @@ void TaskProgram::validate(const scop::Scop& scop) const {
   }
 
   // Per statement: iterations across tasks partition the domain, blocks in
-  // lexicographic order, and self-ordering chain intact.
-  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
-    std::vector<pb::Tuple> all;
-    const Task* prev = nullptr;
-    for (const Task& t : tasks) {
-      if (t.stmtIdx != s)
-        continue;
-      PIPOLY_CHECK(!t.iterations.empty());
-      PIPOLY_CHECK_MSG(std::is_sorted(t.iterations.begin(),
-                                      t.iterations.end()),
-                       "task iterations must be in lexicographic order");
-      PIPOLY_CHECK_MSG(t.iterations.back() == t.blockRep,
-                       "block representative must be the last iteration");
-      if (prev) {
-        PIPOLY_CHECK_MSG(prev->blockRep < t.blockRep,
-                         "blocks of one statement must be ordered");
-        if (chainOrdering) {
-          bool hasSelfDep = std::any_of(
-              t.in.begin(), t.in.end(), [&](const TaskDep& d) {
-                return d.selfOrdering && d.idx == prev->out.idx &&
-                       d.tag == prev->out.tag;
-              });
-          PIPOLY_CHECK_MSG(hasSelfDep,
-                           "missing same-statement ordering dependency");
-        }
+  // lexicographic order, and self-ordering chain intact. One pass over the
+  // task list with per-statement running state (the former per-statement
+  // rescan was O(statements * tasks)).
+  std::vector<const Task*> prev(scop.numStatements(), nullptr);
+  std::vector<std::vector<pb::Tuple>> all(scop.numStatements());
+  for (const Task& t : tasks) {
+    PIPOLY_CHECK_MSG(t.stmtIdx < scop.numStatements(),
+                     "task statement index out of range");
+    PIPOLY_CHECK(!t.iterations.empty());
+    PIPOLY_CHECK_MSG(std::is_sorted(t.iterations.begin(), t.iterations.end()),
+                     "task iterations must be in lexicographic order");
+    PIPOLY_CHECK_MSG(t.iterations.back() == t.blockRep,
+                     "block representative must be the last iteration");
+    if (const Task* p = prev[t.stmtIdx]) {
+      PIPOLY_CHECK_MSG(p->blockRep < t.blockRep,
+                       "blocks of one statement must be ordered");
+      if (chainOrdering) {
+        bool hasSelfDep =
+            std::any_of(t.in.begin(), t.in.end(), [&](const TaskDep& d) {
+              return d.selfOrdering && d.idx == p->out.idx &&
+                     d.tag == p->out.tag;
+            });
+        PIPOLY_CHECK_MSG(hasSelfDep,
+                         "missing same-statement ordering dependency");
       }
-      all.insert(all.end(), t.iterations.begin(), t.iterations.end());
-      prev = &t;
     }
-    std::sort(all.begin(), all.end());
-    PIPOLY_CHECK_MSG(pb::IntTupleSet(scop.statement(s).space(), all) ==
+    all[t.stmtIdx].insert(all[t.stmtIdx].end(), t.iterations.begin(),
+                          t.iterations.end());
+    prev[t.stmtIdx] = &t;
+  }
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    std::sort(all[s].begin(), all[s].end());
+    PIPOLY_CHECK_MSG(pb::IntTupleSet(scop.statement(s).space(), all[s]) ==
                          scop.statement(s).domain(),
                      "task iterations must partition the statement domain");
   }

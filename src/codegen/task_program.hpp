@@ -18,10 +18,13 @@
 #include "pipeline/detect.hpp"
 #include "presburger/tuple.hpp"
 #include "scop/scop.hpp"
+#include "support/hash.hpp"
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace pipoly::codegen {
@@ -45,6 +48,19 @@ struct Task {
   std::vector<TaskDep> in;
 };
 
+/// Hashed (idx, tag) -> producing task id index. Built once and shared by
+/// validation, the exports, the simulator and the optimizer so dependency
+/// resolution is O(1) expected instead of a per-lookup ordered-map walk.
+using OutOwnerIndex =
+    std::unordered_map<std::pair<int, std::int64_t>, std::size_t, PairHash>;
+
+/// Cheap census of a task program, used by the exports and benchmark
+/// reports to show pre/post-optimization graph shrinkage.
+struct ProgramCounts {
+  std::size_t tasks = 0;
+  std::size_t inEdges = 0;
+};
+
 struct TaskProgram {
   std::vector<Task> tasks; // creation order: statement order, blocks lex
   std::size_t numStatements = 0;
@@ -56,8 +72,15 @@ struct TaskProgram {
   bool chainOrdering = true;
 
   /// Index of the task with the given out-dependency; tasks are unique per
-  /// (idx, tag).
+  /// (idx, tag). Linear scan — for bulk resolution build the owner index
+  /// once with buildOutOwnerIndex() instead.
   std::optional<std::size_t> taskWithOut(const TaskDep& dep) const;
+
+  /// Builds the (idx, tag) -> task id index in one O(tasks) pass.
+  OutOwnerIndex buildOutOwnerIndex() const;
+
+  /// Task and in-edge counts (for shrinkage reporting).
+  ProgramCounts counts() const;
 
   /// Checks the program is well formed: every in-dependency names the out
   /// tag of an *earlier* task (OpenMP depend semantics), iterations

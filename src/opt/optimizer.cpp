@@ -1,0 +1,211 @@
+#include "opt/optimizer.hpp"
+
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pipoly::opt {
+
+namespace {
+
+using codegen::Task;
+using codegen::TaskDep;
+using codegen::TaskProgram;
+
+std::size_t countEdges(const TaskProgram& program) {
+  std::size_t edges = 0;
+  for (const Task& t : program.tasks)
+    edges += t.in.size();
+  return edges;
+}
+
+/// Resolves every in-dependency of every task to the producing task id.
+/// Returns the flattened per-task predecessor lists (offsets like
+/// SlotTable). O(tasks + edges) through the hashed owner index.
+struct PredLists {
+  std::vector<std::uint32_t> preds;
+  std::vector<std::uint32_t> offsets;
+};
+
+PredLists resolvePredecessors(const TaskProgram& program) {
+  const codegen::OutOwnerIndex owner = program.buildOutOwnerIndex();
+  PredLists lists;
+  lists.offsets.reserve(program.tasks.size() + 1);
+  lists.offsets.push_back(0);
+  for (const Task& t : program.tasks) {
+    for (const TaskDep& dep : t.in) {
+      auto it = owner.find({dep.idx, dep.tag});
+      PIPOLY_CHECK_MSG(it != owner.end(),
+                       "optimizer: in-dependency with no producing task");
+      PIPOLY_CHECK_MSG(it->second < t.id,
+                       "optimizer: in-dependency on a later task");
+      lists.preds.push_back(static_cast<std::uint32_t>(it->second));
+    }
+    lists.offsets.push_back(static_cast<std::uint32_t>(lists.preds.size()));
+  }
+  return lists;
+}
+
+/// Pass 1: transitive reduction. Creation order is a topological order
+/// (validated: every in-dependency names an earlier task), so one forward
+/// sweep computes each task's ancestor set as the union of its direct
+/// predecessors' ancestor sets plus the predecessors themselves. An edge
+/// p -> v is implied exactly when p is an ancestor of another direct
+/// predecessor of v; dropping it leaves the closure untouched.
+///
+/// Under chainOrdering the same-statement funcCount edge is kept even if
+/// implied — TaskProgram::validate() requires the chain to be explicit,
+/// and backends with funcCountOrdering re-derive it anyway.
+///
+/// Bitset ancestor sets: O(V^2/64) memory, O(V*E/64) time. The programs
+/// this repository generates are a few thousand tasks at the extreme
+/// (P1-P10 at N=16 are tens to hundreds), so the dense representation is
+/// both the fastest and the simplest correct choice.
+std::size_t transitiveReduce(TaskProgram& program) {
+  const std::size_t n = program.tasks.size();
+  if (n == 0)
+    return 0;
+  const PredLists lists = resolvePredecessors(program);
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> ancestors(n * words, 0);
+  std::vector<std::uint64_t> predUnion(words);
+
+  std::size_t removed = 0;
+  for (Task& t : program.tasks) {
+    std::fill(predUnion.begin(), predUnion.end(), 0);
+    const std::uint32_t* predBegin = lists.preds.data() + lists.offsets[t.id];
+    const std::uint32_t* predEnd =
+        lists.preds.data() + lists.offsets[t.id + 1];
+    for (const std::uint32_t* p = predBegin; p != predEnd; ++p) {
+      const std::uint64_t* row = ancestors.data() + std::size_t{*p} * words;
+      for (std::size_t w = 0; w < words; ++w)
+        predUnion[w] |= row[w];
+    }
+
+    // An edge is redundant iff its producer is an ancestor of another
+    // direct predecessor (a task is never its own ancestor, so membership
+    // in the union is exactly that test).
+    std::vector<TaskDep> kept;
+    kept.reserve(t.in.size());
+    for (std::size_t k = 0; k < t.in.size(); ++k) {
+      const std::uint32_t p = predBegin[k];
+      const bool implied = (predUnion[p / 64] >> (p % 64)) & 1;
+      if (implied && !(program.chainOrdering && t.in[k].selfOrdering)) {
+        ++removed;
+        continue;
+      }
+      kept.push_back(t.in[k]);
+    }
+    t.in = std::move(kept);
+
+    // ancestors(t) = union of predecessors' ancestors + the predecessors.
+    // Computed from the *original* edges — the reduction preserves the
+    // closure, so either edge set yields the same ancestor sets.
+    std::uint64_t* row = ancestors.data() + t.id * words;
+    std::copy(predUnion.begin(), predUnion.end(), row);
+    for (const std::uint32_t* p = predBegin; p != predEnd; ++p)
+      row[*p / 64] |= std::uint64_t{1} << (*p % 64);
+  }
+  return removed;
+}
+
+/// Pass 2: chain fusion. Fuses task `next` into `merged` when
+///   * they are adjacent tasks of the same statement (lowerToTasks emits
+///     each nest's blocks contiguously, so adjacency in creation order is
+///     adjacency in block order — which the C emitter's contiguous
+///     iteration ranges rely on),
+///   * the tail of `merged` has exactly one dependent (`next`),
+///   * `next`'s only in-dependency is on that tail, and
+///   * the concatenated iteration list stays lexicographically sorted
+///     (validate() and the sequential-per-task execution order need it).
+std::size_t fuseChains(TaskProgram& program, std::size_t width) {
+  const std::size_t n = program.tasks.size();
+  if (n < 2 || width < 2)
+    return 0;
+  const PredLists lists = resolvePredecessors(program);
+  std::vector<std::uint32_t> dependents(n, 0);
+  for (std::uint32_t p : lists.preds)
+    ++dependents[p];
+
+  std::vector<Task> fused;
+  fused.reserve(n);
+  std::size_t eliminated = 0;
+  for (std::size_t i = 0; i < n;) {
+    Task merged = std::move(program.tasks[i]);
+    std::size_t tail = i; // original id of the last task folded in
+    std::size_t run = 1;
+    while (run < width && tail + 1 < n) {
+      const Task& next = program.tasks[tail + 1];
+      if (next.stmtIdx != merged.stmtIdx || dependents[tail] != 1 ||
+          next.in.size() != 1 || next.in[0].idx != merged.out.idx ||
+          next.in[0].tag != merged.out.tag ||
+          !(merged.iterations.back() < next.iterations.front()))
+        break;
+      merged.iterations.insert(merged.iterations.end(),
+                               next.iterations.begin(),
+                               next.iterations.end());
+      merged.out = next.out;
+      merged.blockRep = next.blockRep;
+      ++tail;
+      ++run;
+      ++eliminated;
+    }
+    merged.id = fused.size();
+    fused.push_back(std::move(merged));
+    i = tail + 1;
+  }
+  program.tasks = std::move(fused);
+  return eliminated;
+}
+
+} // namespace
+
+double OptimizeStats::edgeReductionPercent() const {
+  if (edgesBefore == 0)
+    return 0.0;
+  return 100.0 * static_cast<double>(edgesBefore - edgesAfter) /
+         static_cast<double>(edgesBefore);
+}
+
+double OptimizeStats::taskReductionPercent() const {
+  if (tasksBefore == 0)
+    return 0.0;
+  return 100.0 * static_cast<double>(tasksBefore - tasksAfter) /
+         static_cast<double>(tasksBefore);
+}
+
+std::string OptimizeStats::toString() const {
+  std::ostringstream os;
+  os << "opt: tasks " << tasksBefore << " -> " << tasksAfter << " (fused "
+     << tasksFused << "), in-edges " << edgesBefore << " -> " << edgesAfter
+     << " (reduction removed " << edgesRemoved << ")";
+  return os.str();
+}
+
+OptimizeStats optimize(codegen::TaskProgram& program,
+                       const OptimizeOptions& options) {
+  OptimizeStats stats;
+  stats.tasksBefore = stats.tasksAfter = program.tasks.size();
+  stats.edgesBefore = stats.edgesAfter = countEdges(program);
+  if (!options.enabled)
+    return stats;
+  if (options.transitiveReduction)
+    stats.edgesRemoved = transitiveReduce(program);
+  if (options.fusionWidth > 1)
+    stats.tasksFused = fuseChains(program, options.fusionWidth);
+  stats.tasksAfter = program.tasks.size();
+  stats.edgesAfter = countEdges(program);
+  return stats;
+}
+
+SlotTable buildSlotTable(const codegen::TaskProgram& program) {
+  PredLists lists = resolvePredecessors(program);
+  SlotTable table;
+  table.numSlots = static_cast<std::uint32_t>(program.tasks.size());
+  table.inSlots = std::move(lists.preds);
+  table.inOffsets = std::move(lists.offsets);
+  return table;
+}
+
+} // namespace pipoly::opt

@@ -3,33 +3,23 @@
 #include "support/assert.hpp"
 
 #include <algorithm>
-#include <map>
 #include <queue>
 #include <set>
 
 namespace pipoly::sim {
 
-SimResult simulate(const codegen::TaskProgram& program, const CostModel& model,
-                   const SimConfig& config) {
+namespace {
+
+/// Runs the discrete-event machine given the already-resolved dependent
+/// lists — shared by the generic (hashed resolution) and interned-slot
+/// (array-indexed resolution) entry points.
+SimResult simulateResolved(const codegen::TaskProgram& program,
+                           const CostModel& model, const SimConfig& config,
+                           const std::vector<std::vector<std::size_t>>&
+                               dependents,
+                           std::vector<std::size_t> indegree) {
   PIPOLY_CHECK(config.workers >= 1);
   const std::size_t n = program.tasks.size();
-
-  // Build predecessor edges from the dependency tags (tags are unique per
-  // task, validated by TaskProgram::validate).
-  std::map<std::pair<int, std::int64_t>, std::size_t> outOwner;
-  for (const codegen::Task& t : program.tasks)
-    outOwner[{t.out.idx, t.out.tag}] = t.id;
-
-  std::vector<std::vector<std::size_t>> dependents(n);
-  std::vector<std::size_t> indegree(n, 0);
-  for (const codegen::Task& t : program.tasks) {
-    for (const codegen::TaskDep& d : t.in) {
-      auto it = outOwner.find({d.idx, d.tag});
-      PIPOLY_CHECK_MSG(it != outOwner.end(), "unresolved task dependency");
-      dependents[it->second].push_back(t.id);
-      ++indegree[t.id];
-    }
-  }
 
   std::vector<double> cost(n);
   SimResult result;
@@ -111,6 +101,50 @@ SimResult simulate(const codegen::TaskProgram& program, const CostModel& model,
   }
   result.makespan = now;
   return result;
+}
+
+} // namespace
+
+SimResult simulate(const codegen::TaskProgram& program, const CostModel& model,
+                   const SimConfig& config) {
+  const std::size_t n = program.tasks.size();
+
+  // Build predecessor edges from the dependency tags (tags are unique per
+  // task, validated by TaskProgram::validate).
+  const codegen::OutOwnerIndex outOwner = program.buildOutOwnerIndex();
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (const codegen::Task& t : program.tasks) {
+    for (const codegen::TaskDep& d : t.in) {
+      auto it = outOwner.find({d.idx, d.tag});
+      PIPOLY_CHECK_MSG(it != outOwner.end(), "unresolved task dependency");
+      dependents[it->second].push_back(t.id);
+      ++indegree[t.id];
+    }
+  }
+  return simulateResolved(program, model, config, dependents,
+                          std::move(indegree));
+}
+
+SimResult simulate(const codegen::TaskProgram& program,
+                   const opt::SlotTable& slots, const CostModel& model,
+                   const SimConfig& config) {
+  const std::size_t n = program.tasks.size();
+  PIPOLY_CHECK_MSG(slots.numSlots == n,
+                   "slot table does not match the task program");
+
+  // Producer slot ids are task ids: O(1) per edge, no hashing.
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t id = 0; id < n; ++id) {
+    for (const std::uint32_t* s = slots.inBegin(id); s != slots.inEnd(id);
+         ++s) {
+      dependents[*s].push_back(id);
+      ++indegree[id];
+    }
+  }
+  return simulateResolved(program, model, config, dependents,
+                          std::move(indegree));
 }
 
 double sequentialTime(const scop::Scop& scop, const CostModel& model) {

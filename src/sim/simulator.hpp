@@ -10,6 +10,7 @@
 // start/finish phases of eq. 6 emerging from the dependency structure.
 
 #include "codegen/task_program.hpp"
+#include "opt/optimizer.hpp"
 #include "scop/scop.hpp"
 
 #include <vector>
@@ -21,10 +22,13 @@ namespace pipoly::sim {
 struct CostModel {
   std::vector<double> iterationCost; // indexed by statement
   double taskOverhead = 0.0;         // per-task spawn/dispatch cost
+  double dependOverhead = 0.0;       // per-in-dependency resolve cost
 
   double taskCost(const codegen::Task& task) const {
-    return taskOverhead + static_cast<double>(task.iterations.size()) *
-                              iterationCost.at(task.stmtIdx);
+    return taskOverhead +
+           dependOverhead * static_cast<double>(task.in.size()) +
+           static_cast<double>(task.iterations.size()) *
+               iterationCost.at(task.stmtIdx);
   }
 };
 
@@ -71,6 +75,13 @@ struct SimResult {
 /// Greedy non-preemptive list scheduling of the task graph on `workers`
 /// identical workers; ready tasks are dispatched in creation order.
 SimResult simulate(const codegen::TaskProgram& program, const CostModel& model,
+                   const SimConfig& config);
+
+/// Same, but resolves the dependency edges through the interned slot
+/// table (opt::buildSlotTable of this very program): O(1) array indexing
+/// per edge instead of an associative lookup. The schedule is identical.
+SimResult simulate(const codegen::TaskProgram& program,
+                   const opt::SlotTable& slots, const CostModel& model,
                    const SimConfig& config);
 
 /// Time of the original (un-pipelined) program: all iterations in order.

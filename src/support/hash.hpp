@@ -1,0 +1,34 @@
+#pragma once
+
+// Hashing for the hot dependency-slot tables. The backends, the simulator
+// and the exports key state on (statement slot, linearised block tag)
+// pairs; std::map kept them ordered but paid a pointer chase per level.
+// The flat tables use this avalanche-mixed pair hash instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace pipoly {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mix.
+inline std::uint64_t hashMix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash functor for std::pair keys (e.g. the (idx, tag) dependency slots
+/// or (function pointer, count) funcCount slots).
+struct PairHash {
+  template <class A, class B>
+  std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    const auto a = static_cast<std::uint64_t>(std::hash<A>{}(p.first));
+    const auto b = static_cast<std::uint64_t>(std::hash<B>{}(p.second));
+    return static_cast<std::size_t>(
+        hashMix64(a ^ (b * 0x9e3779b97f4a7c15ULL)));
+  }
+};
+
+} // namespace pipoly

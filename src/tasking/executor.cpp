@@ -44,6 +44,29 @@ void executeTaskProgram(const codegen::TaskProgram& program,
   });
 }
 
+void executeTaskProgram(const codegen::TaskProgram& program,
+                        const opt::SlotTable& slots, TaskingLayer& layer,
+                        const StatementExecutor& exec) {
+  PIPOLY_CHECK_MSG(slots.numSlots == program.tasks.size(),
+                   "slot table does not match the task program");
+  layer.run([&] {
+    layer.reserveDependencySlots(slots.numSlots);
+    std::vector<std::int64_t> inDepend;
+    std::vector<int> inIdx;
+    for (const codegen::Task& task : program.tasks) {
+      inDepend.clear();
+      for (const std::uint32_t* s = slots.inBegin(task.id);
+           s != slots.inEnd(task.id); ++s)
+        inDepend.push_back(static_cast<std::int64_t>(*s));
+      inIdx.assign(inDepend.size(), 0);
+      TaskLaunch launch{&task, &exec};
+      layer.createTask(&runBlock, &launch, sizeof(TaskLaunch),
+                       static_cast<std::int64_t>(task.id), 0, inDepend.data(),
+                       inIdx.data(), inDepend.size());
+    }
+  });
+}
+
 void executeSequential(const scop::Scop& scop, const StatementExecutor& exec) {
   for (std::size_t s = 0; s < scop.numStatements(); ++s)
     for (const pb::Tuple& it : scop.statement(s).domain().points())

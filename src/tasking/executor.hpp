@@ -7,6 +7,7 @@
 // for the function the prototype extracts out of the pipeline-loop body.
 
 #include "codegen/task_program.hpp"
+#include "opt/optimizer.hpp"
 #include "tasking/tasking.hpp"
 
 #include <functional>
@@ -21,6 +22,15 @@ using StatementExecutor =
 /// task finished.
 void executeTaskProgram(const codegen::TaskProgram& program,
                         TaskingLayer& layer, const StatementExecutor& exec);
+
+/// Same, but spawns through the interned dependency slots of `slots`
+/// (opt::buildSlotTable of this very program): the backend is handed
+/// dense (0, slot) keys and the reserveDependencySlots hint, so backends
+/// that honour it resolve every dependency with O(1) array indexing. The
+/// executed schedule is semantically identical to the generic overload.
+void executeTaskProgram(const codegen::TaskProgram& program,
+                        const opt::SlotTable& slots, TaskingLayer& layer,
+                        const StatementExecutor& exec);
 
 /// Reference execution: runs every statement's iterations in original
 /// program order without tasking. Used as ground truth by tests and

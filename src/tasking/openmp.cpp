@@ -1,11 +1,12 @@
 #include "tasking/tasking.hpp"
 
 #include "support/assert.hpp"
+#include "support/hash.hpp"
 
 #include <cstdlib>
 #include <cstring>
 #include <deque>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace pipoly::tasking {
@@ -24,12 +25,22 @@ namespace {
 /// sparse, so slots are remapped densely on first use — the depend-clause
 /// semantics (same (idx, tag) => same address) are unchanged. A std::deque
 /// keeps element addresses stable as slots are added.
+///
+/// When the caller pre-interned the tags (reserveDependencySlots, the
+/// src/opt slot table), the remapping disappears entirely: the dense
+/// dependency array is allocated up front and addressed directly by tag,
+/// exactly the paper's dependArr layout.
 class OpenMPBackend final : public TaskingLayer {
 public:
   explicit OpenMPBackend(bool funcCountOrdering)
       : funcCountOrdering_(funcCountOrdering) {}
 
   std::string_view name() const override { return "openmp"; }
+
+  void reserveDependencySlots(std::size_t numSlots) override {
+    PIPOLY_CHECK_MSG(inRegion_, "reserveDependencySlots outside of run()");
+    denseSlots_.assign(numSlots, 0);
+  }
 
   void createTask(TaskFunction f, const void* input, std::size_t inputSize,
                   std::int64_t outDepend, int outIdx,
@@ -100,10 +111,16 @@ public:
     slotIndex_.clear();
     funcCount_.clear();
     funcSlotIndex_.clear();
+    denseSlots_.clear();
   }
 
 private:
   char* slotAddress(int idx, std::int64_t tag) {
+    // Dense fast path: interned tags index the preallocated dependency
+    // array directly (no growth, so the addresses are stable).
+    if (idx == 0 && tag >= 0 &&
+        static_cast<std::size_t>(tag) < denseSlots_.size())
+      return &denseSlots_[static_cast<std::size_t>(tag)];
     auto [it, fresh] = slotIndex_.try_emplace({idx, tag}, slots_.size());
     if (fresh)
       slots_.push_back(0);
@@ -120,9 +137,13 @@ private:
   bool funcCountOrdering_;
   bool inRegion_ = false;
   std::deque<char> slots_;
-  std::map<std::pair<int, std::int64_t>, std::size_t> slotIndex_;
-  std::map<TaskFunction, std::size_t> funcCount_;
-  std::map<std::pair<TaskFunction, std::size_t>, std::size_t> funcSlotIndex_;
+  std::unordered_map<std::pair<int, std::int64_t>, std::size_t, PairHash>
+      slotIndex_;
+  std::unordered_map<TaskFunction, std::size_t> funcCount_;
+  std::unordered_map<std::pair<TaskFunction, std::size_t>, std::size_t,
+                     PairHash>
+      funcSlotIndex_;
+  std::vector<char> denseSlots_;
 };
 
 } // namespace

@@ -51,6 +51,19 @@ public:
                           int outIdx, const std::int64_t* inDepend,
                           const int* inIdx, std::size_t dependNum) = 0;
 
+  /// Optional dense-slot protocol (the task-graph optimizer's slot
+  /// interning, src/opt): announces that until run() returns, every
+  /// createTask call uses idx == 0 and 0 <= tag < numSlots for its out-
+  /// and in-dependencies. Backends may then resolve dependency slots by
+  /// array indexing instead of associative lookups. Must be called from
+  /// inside run(), before the first createTask of that run; the hint
+  /// expires when run() returns. The default implementation ignores the
+  /// hint — correctness never depends on it, since dense slot ids are
+  /// ordinary (idx, tag) keys to a backend that resolves them generically.
+  virtual void reserveDependencySlots(std::size_t numSlots) {
+    (void)numSlots;
+  }
+
   /// Runs `spawner` inside the backend's parallel region and waits until
   /// every created task has finished.
   virtual void run(const std::function<void()>& spawner) = 0;

@@ -2,12 +2,14 @@
 
 #include "runtime/thread_pool.hpp"
 #include "support/assert.hpp"
+#include "support/hash.hpp"
 
 #include <array>
 #include <cstddef>
 #include <cstring>
-#include <map>
+#include <limits>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace pipoly::tasking {
@@ -22,11 +24,23 @@ namespace {
 // each createTask's depend semantics atomic (concurrent publishers of
 // the same slot race only in program order, exactly as OpenMP's
 // last-writer rule does).
+//
+// Slot resolution has two tiers: when the caller announced interned
+// dense slots (reserveDependencySlots, the src/opt slot table), the
+// last-writer table is a flat vector indexed by tag — O(1), no hashing;
+// otherwise a hashed map over the (idx, tag) pairs.
 class ThreadPoolBackend final : public TaskingLayer {
 public:
   explicit ThreadPoolBackend(unsigned numThreads) : numThreads_(numThreads) {}
 
   std::string_view name() const override { return "threadpool"; }
+
+  void reserveDependencySlots(std::size_t numSlots) override {
+    PIPOLY_CHECK_MSG(pool_ != nullptr,
+                     "reserveDependencySlots outside of run()");
+    std::lock_guard lock(lastWriterMutex_);
+    denseWriter_.assign(numSlots, kNoWriter);
+  }
 
   void createTask(TaskFunction f, const void* input, std::size_t inputSize,
                   std::int64_t outDepend, int outIdx,
@@ -43,9 +57,15 @@ public:
     std::vector<rt::DependencyThreadPool::TaskId> deps;
     deps.reserve(dependNum);
     for (std::size_t k = 0; k < dependNum; ++k) {
-      auto it = lastWriter_.find({inIdx[k], inDepend[k]});
-      if (it != lastWriter_.end())
-        deps.push_back(it->second);
+      if (isDense(inIdx[k], inDepend[k])) {
+        const auto id = denseWriter_[static_cast<std::size_t>(inDepend[k])];
+        if (id != kNoWriter)
+          deps.push_back(id);
+      } else {
+        auto it = lastWriter_.find({inIdx[k], inDepend[k]});
+        if (it != lastWriter_.end())
+          deps.push_back(it->second);
+      }
     }
 
     rt::DependencyThreadPool::TaskId id;
@@ -66,7 +86,10 @@ public:
       id = pool_->submit([f, copy = std::move(copy)] { f(copy->data()); },
                          deps);
     }
-    lastWriter_[{outIdx, outDepend}] = id;
+    if (isDense(outIdx, outDepend))
+      denseWriter_[static_cast<std::size_t>(outDepend)] = id;
+    else
+      lastWriter_[{outIdx, outDepend}] = id;
   }
 
   void run(const std::function<void()>& spawner) override {
@@ -76,12 +99,10 @@ public:
       spawner();
       pool.waitAll();
     } catch (...) {
-      pool_ = nullptr;
-      lastWriter_.clear();
+      reset();
       throw;
     }
-    pool_ = nullptr;
-    lastWriter_.clear();
+    reset();
   }
 
 private:
@@ -89,11 +110,28 @@ private:
     alignas(std::max_align_t) std::array<std::byte, 24> bytes;
   };
 
+  static constexpr rt::DependencyThreadPool::TaskId kNoWriter =
+      std::numeric_limits<rt::DependencyThreadPool::TaskId>::max();
+
+  bool isDense(int idx, std::int64_t tag) const {
+    return idx == 0 && tag >= 0 &&
+           static_cast<std::size_t>(tag) < denseWriter_.size();
+  }
+
+  void reset() {
+    pool_ = nullptr;
+    lastWriter_.clear();
+    denseWriter_.clear();
+  }
+
   unsigned numThreads_;
   rt::DependencyThreadPool* pool_ = nullptr;
   std::mutex lastWriterMutex_;
-  std::map<std::pair<int, std::int64_t>, rt::DependencyThreadPool::TaskId>
-      lastWriter_; // guarded by lastWriterMutex_
+  // Both tables guarded by lastWriterMutex_.
+  std::unordered_map<std::pair<int, std::int64_t>,
+                     rt::DependencyThreadPool::TaskId, PairHash>
+      lastWriter_;
+  std::vector<rt::DependencyThreadPool::TaskId> denseWriter_;
 };
 
 } // namespace
