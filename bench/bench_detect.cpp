@@ -7,7 +7,11 @@
 // Algorithm-1 work, grows with the statement count.
 //
 // Usage:
-//   bench_detect [--smoke] [threads...]     (default threads: 2 4 8)
+//   bench_detect [--smoke] [--trace=FILE] [threads...]
+//                                           (default threads: 2 4 8)
+//
+// --trace=FILE traces the run (detection phase spans, per-unit spans)
+// and writes Chrome Trace Event JSON for chrome://tracing / Perfetto.
 //
 // --smoke runs one small configuration, verifies that parallel detection
 // is bit-identical to serial, and exits non-zero on mismatch — the CI
@@ -18,10 +22,13 @@
 #include "bench_common.hpp"
 #include "scop/builder.hpp"
 #include "support/stopwatch.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -116,12 +123,48 @@ int runSmoke() {
 
 } // namespace
 
+namespace {
+
+/// Stops `session` and writes its trace to `path` (no-op on empty path).
+int dumpTrace(trace::Session& session, const std::string& path) {
+  if (path.empty())
+    return 0;
+  session.stop();
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::printf("bench_detect: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << trace::toChromeJson(session.trace());
+  std::printf("bench_detect: wrote trace to '%s'\n", path.c_str());
+  return 0;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
   std::vector<unsigned> threadCounts;
+  std::string tracePath;
+  bool smoke = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0)
-      return runSmoke();
-    threadCounts.push_back(static_cast<unsigned>(std::atoi(argv[a])));
+      smoke = true;
+    else if (std::strncmp(argv[a], "--trace=", 8) == 0)
+      tracePath = argv[a] + 8;
+    else
+      threadCounts.push_back(static_cast<unsigned>(std::atoi(argv[a])));
+  }
+
+  trace::Session session;
+  if (!tracePath.empty()) {
+    trace::setThreadName("main");
+    session.start();
+  }
+
+  if (smoke) {
+    const int rc = runSmoke();
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
   }
   if (threadCounts.empty())
     threadCounts = {2, 4, 8};
@@ -158,5 +201,5 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  return 0;
+  return dumpTrace(session, tracePath);
 }

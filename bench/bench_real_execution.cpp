@@ -12,6 +12,9 @@
 // Table-9 program executes sequentially, pipelined, and pipelined after
 // the task-graph optimizer (through the interned-slot executor), and the
 // three result fingerprints must agree. Exits non-zero on any mismatch.
+//
+// `--trace=FILE` traces the run (compile spans, per-task worker spans,
+// pool park/steal events) and writes Chrome Trace Event JSON.
 
 #include "bench_common.hpp"
 
@@ -22,9 +25,14 @@
 #include "opt/optimizer.hpp"
 #include "sim/calibrate.hpp"
 #include "tasking/executor.hpp"
+#include "tasking/tracing_layer.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
 
 namespace {
@@ -40,8 +48,11 @@ int runSmoke() {
               "(N=%lld, SIZE=%d) ==\n",
               static_cast<long long>(n), size);
 
-  auto layer = tasking::makeThreadPoolBackend(
-      std::max(2u, std::thread::hardware_concurrency()));
+  // The TracingLayer wrapper is a no-op unless a trace session is active
+  // (--trace=FILE), so it stays installed unconditionally.
+  auto layer = std::make_unique<tasking::TracingLayer>(
+      tasking::makeThreadPoolBackend(
+          std::max(2u, std::thread::hardware_concurrency())));
   bench::Table table(
       {"prog", "tasks", "tasks_opt", "edges", "edges_opt", "status"});
   int failures = 0;
@@ -84,12 +95,44 @@ int runSmoke() {
   return failures == 0 ? 0 : 1;
 }
 
+/// Stops `session` and writes its trace to `path` (no-op on empty path).
+int dumpTrace(trace::Session& session, const std::string& path) {
+  if (path.empty())
+    return 0;
+  session.stop();
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::printf("bench_real_execution: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << trace::toChromeJson(session.trace());
+  std::printf("bench_real_execution: wrote trace to '%s'\n", path.c_str());
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
+  bool smoke = false;
+  std::string tracePath;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
-      return runSmoke();
+      smoke = true;
+    else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+      tracePath = argv[i] + 8;
+  }
+
+  trace::Session session;
+  if (!tracePath.empty()) {
+    trace::setThreadName("main");
+    session.start();
+  }
+
+  if (smoke) {
+    const int rc = runSmoke();
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
+  }
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("== Real execution: pipelined vs sequential wall-clock ==\n");
@@ -117,9 +160,10 @@ int main(int argc, char** argv) {
     const double seq = seqWatch.seconds();
 
     runner.reset();
-    auto layer = tasking::makeOpenMPBackend();
-    if (!layer)
-      layer = tasking::makeThreadPoolBackend(hw);
+    std::unique_ptr<tasking::TaskingLayer> inner = tasking::makeOpenMPBackend();
+    if (!inner)
+      inner = tasking::makeThreadPoolBackend(hw);
+    auto layer = std::make_unique<tasking::TracingLayer>(std::move(inner));
     Stopwatch pipeWatch;
     tasking::executeTaskProgram(prog, *layer, runner.executor());
     const double pipe = pipeWatch.seconds();
@@ -141,5 +185,5 @@ int main(int argc, char** argv) {
                   bench::fmt(r.speedupOver(sim::sequentialTime(scop, model)))});
   }
   table.print();
-  return 0;
+  return dumpTrace(session, tracePath);
 }

@@ -23,6 +23,12 @@
 //                   the thread-pool backend and check against sequential
 //     --tune N      sweep task-granularity factors on N simulated workers
 //                   and report the best (the §7 granularity question)
+//     --trace=FILE  trace the whole run (compile-phase spans, a real
+//                   4-worker execution with per-task spans, and the
+//                   simulator's predicted timeline as its own track) and
+//                   write Chrome Trace Event JSON — open in
+//                   chrome://tracing or https://ui.perfetto.dev
+//     --metrics     print aggregated span/counter metrics as JSON
 //
 // Example:
 //   ./build/examples/pipolyc --maps --ast --simulate 8
@@ -39,6 +45,11 @@
 #include "schedule/build.hpp"
 #include "sim/granularity_tuner.hpp"
 #include "sim/simulator.hpp"
+#include "tasking/executor.hpp"
+#include "tasking/tracing_layer.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "verify/oracle.hpp"
 
 #include <cstdio>
@@ -69,7 +80,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: pipolyc [--maps] [--tree] [--ast] [--tasks] [--dot] "
                "[--optimize] [--emit-c] [--simulate N] [--timeline N] "
-               "[file]\n");
+               "[--trace=FILE] [--metrics] [file]\n");
   return 2;
 }
 
@@ -79,8 +90,9 @@ int main(int argc, char** argv) {
   bool maps = false, tree = false, astOut = false, annotated = false,
        tasks = false, dot = false, json = false, report = false,
        emitC = false, verifyRun = false, optimizeRun = false;
+  bool metricsOut = false;
   unsigned simulateWorkers = 0, timelineWorkers = 0, tuneWorkers = 0;
-  std::string path;
+  std::string path, tracePath;
   frontend::ParamOverrides params;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +119,13 @@ int main(int argc, char** argv) {
       optimizeRun = true;
     else if (arg == "--emit-c")
       emitC = true;
+    else if (arg == "--metrics")
+      metricsOut = true;
+    else if (arg.rfind("--trace=", 0) == 0) {
+      tracePath = arg.substr(8);
+      if (tracePath.empty())
+        return usage();
+    }
     else if (arg == "--param" && i + 1 < argc) {
       const std::string binding = argv[++i];
       const std::size_t eq = binding.find('=');
@@ -129,8 +148,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!maps && !tree && !astOut && !annotated && !tasks && !dot && !json &&
-      !report && !emitC && !verifyRun && !optimizeRun &&
-      simulateWorkers == 0 && timelineWorkers == 0 && tuneWorkers == 0)
+      !report && !emitC && !verifyRun && !optimizeRun && !metricsOut &&
+      tracePath.empty() && simulateWorkers == 0 && timelineWorkers == 0 &&
+      tuneWorkers == 0)
     maps = astOut = true; // sensible default
 
   std::string source = kDemoProgram;
@@ -145,11 +165,28 @@ int main(int argc, char** argv) {
     source = buf.str();
   }
 
+  const bool tracing = !tracePath.empty() || metricsOut;
+  trace::Session session;
+
   try {
+    if (tracing) {
+      trace::setThreadName("main");
+      session.start();
+    }
+
+    trace::beginSpan("compile");
     scop::Scop scop = frontend::parseProgram(source, params);
     pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
-    auto schedTree = sched::buildPipelineSchedule(scop, info);
-    ast::Ast lowered = ast::buildAst(scop, *schedTree);
+    std::unique_ptr<sched::ScheduleNode> schedTree;
+    {
+      trace::Span span("compile.schedule");
+      schedTree = sched::buildPipelineSchedule(scop, info);
+    }
+    ast::Ast lowered;
+    {
+      trace::Span span("compile.ast");
+      lowered = ast::buildAst(scop, *schedTree);
+    }
     codegen::TaskProgram prog = codegen::lowerToTasks(scop, lowered);
     prog.validate(scop);
 
@@ -162,6 +199,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "== optimizer ==\n%s\n\n",
                    stats.toString().c_str());
     }
+    trace::endSpan("compile");
 
     if (maps) {
       std::printf("== pipeline maps ==\n");
@@ -240,6 +278,43 @@ int main(int argc, char** argv) {
                     c.coarsening == choice.best.coarsening ? "  <= best"
                                                            : "");
       std::printf("\n");
+    }
+
+    if (tracing) {
+      // A real 4-worker execution with interpreted bodies: per-task spans
+      // on the pool workers plus park/unpark/steal events.
+      {
+        verify::InterpretedKernel kernel(scop);
+        tasking::TracingLayer layer(tasking::makeThreadPoolBackend(4));
+        tasking::executeTaskProgram(prog, layer, kernel.executor());
+      }
+      session.stop();
+
+      // Metrics summarize only what actually ran; the simulator's
+      // predicted timeline is appended afterwards as its own tracks.
+      const trace::MetricsSummary metrics =
+          trace::summarizeTrace(session.trace());
+
+      sim::CostModel model;
+      model.iterationCost.assign(scop.numStatements(), 50e-6);
+      model.taskOverhead = 1e-6;
+      const sim::SimResult predicted =
+          sim::simulate(prog, model, sim::SimConfig{4});
+      sim::appendPredictedTimeline(session.trace(), predicted, prog, scop);
+
+      if (!tracePath.empty()) {
+        std::ofstream out(tracePath);
+        if (!out.good()) {
+          std::fprintf(stderr, "pipolyc: cannot write '%s'\n",
+                       tracePath.c_str());
+          return 2;
+        }
+        out << trace::toChromeJson(session.trace());
+        std::fprintf(stderr, "pipolyc: wrote trace to '%s'\n",
+                     tracePath.c_str());
+      }
+      if (metricsOut)
+        std::printf("%s\n", trace::toJson(metrics).c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pipolyc: %s\n", e.what());

@@ -3,6 +3,7 @@
 #include "pipeline/detect.hpp"
 #include "schedule/build.hpp"
 #include "support/assert.hpp"
+#include "trace/trace.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -48,6 +49,7 @@ ProgramCounts TaskProgram::counts() const {
 }
 
 void TaskProgram::validate(const scop::Scop& scop) const {
+  trace::Span span("codegen.validate");
   PIPOLY_CHECK(numStatements == scop.numStatements());
 
   // Out-dependencies are unique and tasks are creation-ordered by id.
@@ -113,6 +115,7 @@ void TaskProgram::validate(const scop::Scop& scop) const {
 }
 
 TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast) {
+  trace::Span span("codegen.lower");
   TaskProgram prog;
   prog.numStatements = scop.numStatements();
 
@@ -184,10 +187,18 @@ TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast) {
 
 TaskProgram compilePipeline(const scop::Scop& scop,
                             const pipeline::DetectOptions& options) {
+  trace::Span span("compile");
   pipeline::PipelineInfo info = pipeline::detectPipeline(scop, options);
-  std::unique_ptr<sched::ScheduleNode> tree =
-      sched::buildPipelineSchedule(scop, info);
-  ast::Ast loweredAst = ast::buildAst(scop, *tree);
+  std::unique_ptr<sched::ScheduleNode> tree;
+  {
+    trace::Span schedule("compile.schedule");
+    tree = sched::buildPipelineSchedule(scop, info);
+  }
+  ast::Ast loweredAst;
+  {
+    trace::Span astSpan("compile.ast");
+    loweredAst = ast::buildAst(scop, *tree);
+  }
   TaskProgram prog = lowerToTasks(scop, loweredAst);
   prog.validate(scop);
   return prog;

@@ -1,6 +1,7 @@
 #include "opt/optimizer.hpp"
 
 #include "support/assert.hpp"
+#include "trace/trace.hpp"
 
 #include <algorithm>
 #include <sstream>
@@ -185,21 +186,30 @@ std::string OptimizeStats::toString() const {
 
 OptimizeStats optimize(codegen::TaskProgram& program,
                        const OptimizeOptions& options) {
+  trace::Span span("opt.optimize");
   OptimizeStats stats;
   stats.tasksBefore = stats.tasksAfter = program.tasks.size();
   stats.edgesBefore = stats.edgesAfter = countEdges(program);
   if (!options.enabled)
     return stats;
-  if (options.transitiveReduction)
+  if (options.transitiveReduction) {
+    trace::Span pass("opt.transitive_reduction");
     stats.edgesRemoved = transitiveReduce(program);
-  if (options.fusionWidth > 1)
+  }
+  if (options.fusionWidth > 1) {
+    trace::Span pass("opt.chain_fusion");
     stats.tasksFused = fuseChains(program, options.fusionWidth);
+  }
   stats.tasksAfter = program.tasks.size();
   stats.edgesAfter = countEdges(program);
+  trace::counter("opt.edges_removed",
+                 static_cast<double>(stats.edgesBefore - stats.edgesAfter));
+  trace::counter("opt.tasks_fused", static_cast<double>(stats.tasksFused));
   return stats;
 }
 
 SlotTable buildSlotTable(const codegen::TaskProgram& program) {
+  trace::Span span("opt.slot_table");
   PredLists lists = resolvePredecessors(program);
   SlotTable table;
   table.numSlots = static_cast<std::uint32_t>(program.tasks.size());

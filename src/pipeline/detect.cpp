@@ -4,6 +4,7 @@
 #include "runtime/thread_pool.hpp"
 #include "scop/dependences.hpp"
 #include "support/assert.hpp"
+#include "trace/trace.hpp"
 
 #include <optional>
 #include <utility>
@@ -210,6 +211,10 @@ void forEachUnit(rt::DependencyThreadPool* pool, std::size_t count, Fn&& fn) {
 
 PipelineInfo detectPipeline(const scop::Scop& scop,
                             const DetectOptions& options) {
+  // Algorithm-1 phase spans; the per-unit spans inside the phases land in
+  // each pool worker's own trace buffer on the parallel path. All probes
+  // cost one relaxed load when no trace session is active.
+  trace::Span detectSpan("detect.pipeline");
   scop::validateProgramModel(scop);
   PIPOLY_CHECK(options.coarsening >= 1);
   const std::size_t n = scop.numStatements();
@@ -235,10 +240,14 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
       candidates.emplace_back(s, t);
 
   std::vector<PairResult> pairResults(candidates.size());
-  forEachUnit(poolPtr, candidates.size(), [&](std::size_t i) {
-    pairResults[i] =
-        computePair(scop, candidates[i].first, candidates[i].second, options);
-  });
+  {
+    trace::Span phase("detect.pairs");
+    forEachUnit(poolPtr, candidates.size(), [&](std::size_t i) {
+      trace::Span unit("detect.pair", static_cast<std::int64_t>(i));
+      pairResults[i] = computePair(scop, candidates[i].first,
+                                   candidates[i].second, options);
+    });
+  }
 
   // Deterministic gather preserving the serial push order.
   std::vector<std::vector<pb::IntMap>> blockingMaps(n);
@@ -254,17 +263,26 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
   pairResults.clear();
 
   // Phase 2 (lines 8-10): integrate blocking maps (eq. 3) per statement.
-  forEachUnit(poolPtr, n, [&](std::size_t s) {
-    computeStatementInfo(scop, s, blockingMaps[s], options,
-                         info.statements[s]);
-  });
+  {
+    trace::Span phase("detect.integrate");
+    forEachUnit(poolPtr, n, [&](std::size_t s) {
+      trace::Span unit("detect.statement", static_cast<std::int64_t>(s));
+      computeStatementInfo(scop, s, blockingMaps[s], options,
+                           info.statements[s]);
+    });
+  }
 
   // Phase 3 (lines 11-12): in-dependency maps (eq. 4), one per pipeline
   // map, attached to the targets in map order.
   std::vector<InRequirement> requirements(info.maps.size());
-  forEachUnit(poolPtr, info.maps.size(), [&](std::size_t i) {
-    requirements[i] = computeInRequirement(scop, info.maps[i], info, options);
-  });
+  {
+    trace::Span phase("detect.requirements");
+    forEachUnit(poolPtr, info.maps.size(), [&](std::size_t i) {
+      trace::Span unit("detect.requirement", static_cast<std::int64_t>(i));
+      requirements[i] =
+          computeInRequirement(scop, info.maps[i], info, options);
+    });
+  }
   for (std::size_t i = 0; i < info.maps.size(); ++i)
     info.statements[info.maps[i].tgtIdx].inRequirements.push_back(
         std::move(requirements[i]));

@@ -1,10 +1,15 @@
 #include "runtime/thread_pool.hpp"
 
 #include "support/assert.hpp"
+#include "trace/trace.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <optional>
+#include <string>
 #include <utility>
 
 namespace pipoly::rt {
@@ -23,6 +28,29 @@ thread_local TlsBinding tlsBinding;
 
 } // namespace
 
+std::optional<unsigned> parseWakeCap(const char* text) {
+  if (text == nullptr)
+    return std::nullopt;
+  while (std::isspace(static_cast<unsigned char>(*text)))
+    ++text;
+  // strtoul silently accepts a leading minus (wrapping the value), so
+  // reject anything that does not start with a digit outright.
+  if (!std::isdigit(static_cast<unsigned char>(*text)))
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (errno == ERANGE || end == text)
+    return std::nullopt;
+  while (std::isspace(static_cast<unsigned char>(*end)))
+    ++end;
+  if (*end != '\0') // trailing garbage ("4cores", "2 4", ...)
+    return std::nullopt;
+  if (v == 0 || v > UINT_MAX)
+    return std::nullopt;
+  return static_cast<unsigned>(v);
+}
+
 DependencyThreadPool::DepEdge* DependencyThreadPool::sealedTag() {
   // Distinct, never-dereferenced sentinel marking a finished task's
   // dependent list.
@@ -36,11 +64,9 @@ DependencyThreadPool::DependencyThreadPool(unsigned numThreads) {
   // extra workers parked instead of timesharing one core.
   const unsigned hw = std::thread::hardware_concurrency();
   wakeCap_ = std::min(numThreads, hw != 0 ? hw : numThreads);
-  if (const char* env = std::getenv("PIPOLY_POOL_WAKE_CAP")) {
-    const long v = std::atol(env);
-    if (v > 0)
-      wakeCap_ = std::min(numThreads, static_cast<unsigned>(v));
-  }
+  if (std::optional<unsigned> cap =
+          parseWakeCap(std::getenv("PIPOLY_POOL_WAKE_CAP")))
+    wakeCap_ = std::min(numThreads, *cap);
   workers_.reserve(numThreads);
   injection_.reserve(numThreads);
   for (unsigned i = 0; i < numThreads; ++i) {
@@ -257,12 +283,15 @@ bool DependencyThreadPool::tryFindWork(unsigned self, TaskId& out) {
       if (std::optional<TaskId> t = workers_[victim]->deque.steal()) {
         // Batch: grab a few more while the victim is hot, amortizing
         // the sweep. Extras go to our own deque (stealable again).
+        ++me.steals;
         for (int extra = 0; extra < 7; ++extra) {
           std::optional<TaskId> more = workers_[victim]->deque.steal();
           if (!more)
             break;
           me.deque.push(*more);
+          ++me.steals;
         }
+        trace::counter("pool.steals", static_cast<double>(me.steals));
         out = *t;
         return true;
       }
@@ -273,6 +302,7 @@ bool DependencyThreadPool::tryFindWork(unsigned self, TaskId& out) {
 
 void DependencyThreadPool::workerLoop(unsigned index) {
   tlsBinding = TlsBinding{this, index};
+  trace::setThreadName("pool worker " + std::to_string(index));
   Worker& me = *workers_[index];
   TaskId task = 0;
   while (true) {
@@ -307,7 +337,9 @@ void DependencyThreadPool::workerLoop(unsigned index) {
       runTask(task);
       continue;
     }
+    trace::instant("pool.park");
     idle_.wait(ticket);
+    trace::instant("pool.unpark");
     if (shutdown_.load(std::memory_order_acquire))
       return;
   }

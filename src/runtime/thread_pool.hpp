@@ -58,11 +58,19 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
 namespace pipoly::rt {
+
+/// Parses a PIPOLY_POOL_WAKE_CAP-style override. Accepts only a plain
+/// positive decimal integer (optional leading/trailing whitespace) that
+/// fits an unsigned; anything else — null, empty, garbage, trailing
+/// junk, zero, negative, out of range — yields nullopt and the caller's
+/// default stands.
+std::optional<unsigned> parseWakeCap(const char* text);
 
 class DependencyThreadPool {
 public:
@@ -108,6 +116,9 @@ private:
     explicit Worker(std::uint64_t seed) : rng(seed) {}
     WorkStealDeque<TaskId> deque;
     SplitMix64 rng; // victim-selection randomness, owner-thread only
+    // Cumulative successful steals, owner-thread only; sampled into the
+    // "pool.steals" trace counter when a trace session is active.
+    std::uint64_t steals = 0;
   };
 
   struct InjectionShard {

@@ -221,4 +221,37 @@ std::string exportChromeTrace(const SimResult& result,
   return os.str();
 }
 
+void appendPredictedTimeline(trace::Trace& trace, const SimResult& result,
+                             const codegen::TaskProgram& program,
+                             const scop::Scop& scop) {
+  const std::uint64_t base = trace.threads.size();
+  for (unsigned w = 0; w < result.workers; ++w)
+    trace.threads.push_back(trace::ThreadInfo{
+        "predicted worker " + std::to_string(w), /*pid=*/2});
+
+  // Keep per-tid timestamps monotone: group events by worker (they are
+  // already non-overlapping and start-ordered within one worker).
+  for (unsigned w = 0; w < result.workers; ++w) {
+    for (const ScheduleEvent& ev : result.events) {
+      if (ev.worker != w)
+        continue;
+      const codegen::Task& task = program.tasks.at(ev.taskId);
+      const std::string name =
+          scop.statement(task.stmtIdx).name() + task.blockRep.toString();
+      const std::uint64_t tid = base + w;
+      trace::TraceEvent begin;
+      begin.kind = trace::EventKind::Begin;
+      begin.name = name;
+      begin.arg = static_cast<std::int64_t>(ev.taskId);
+      begin.tsNanos = static_cast<std::int64_t>(ev.start * 1e9);
+      begin.tid = tid;
+      trace::TraceEvent end = begin;
+      end.kind = trace::EventKind::End;
+      end.tsNanos = static_cast<std::int64_t>(ev.finish * 1e9);
+      trace.events.push_back(std::move(begin));
+      trace.events.push_back(std::move(end));
+    }
+  }
+}
+
 } // namespace pipoly::sim

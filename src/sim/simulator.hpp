@@ -12,6 +12,7 @@
 #include "codegen/task_program.hpp"
 #include "opt/optimizer.hpp"
 #include "scop/scop.hpp"
+#include "trace/trace.hpp"
 
 #include <vector>
 
@@ -106,5 +107,14 @@ std::string renderTimeline(const SimResult& result,
 std::string exportChromeTrace(const SimResult& result,
                               const codegen::TaskProgram& program,
                               const scop::Scop& scop);
+
+/// Appends the simulated schedule to a drained trace as a separate set of
+/// tracks (pid 2, "predicted worker k"): the predicted Fig.-2 timeline
+/// rendered next to the measured one in the same Chrome-trace file. Each
+/// ScheduleEvent becomes a Begin/End span named after its statement and
+/// block, with simulated seconds mapped onto the trace's nanosecond axis.
+void appendPredictedTimeline(trace::Trace& trace, const SimResult& result,
+                             const codegen::TaskProgram& program,
+                             const scop::Scop& scop);
 
 } // namespace pipoly::sim

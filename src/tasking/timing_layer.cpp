@@ -70,6 +70,10 @@ void TimingLayer::createTask(TaskFunction f, const void* input,
                      inDepend, inIdx, dependNum);
 }
 
+void TimingLayer::reserveDependencySlots(std::size_t numSlots) {
+  inner_->reserveDependencySlots(numSlots);
+}
+
 void TimingLayer::run(const std::function<void()>& spawner) {
   timings_.clear();
   trampolines_.clear();

@@ -34,6 +34,8 @@ public:
                   const std::int64_t* inDepend, const int* inIdx,
                   std::size_t dependNum) override;
 
+  void reserveDependencySlots(std::size_t numSlots) override;
+
   void run(const std::function<void()>& spawner) override;
 
   /// Records of the most recent run(), in creation order.

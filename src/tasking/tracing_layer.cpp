@@ -1,0 +1,62 @@
+#include "tasking/tracing_layer.hpp"
+
+#include "support/assert.hpp"
+#include "trace/trace.hpp"
+
+#include <cstring>
+
+namespace pipoly::tasking {
+
+/// The wrapped task: brackets the inner function with a trace span. The
+/// trampoline owns a copy of the original input (the inner layer will
+/// copy the trampoline pointer struct, not the user payload, so the
+/// payload must outlive the task).
+struct TracingLayer::Trampoline {
+  std::size_t index;
+  TaskFunction fn;
+  std::vector<std::byte> payload;
+};
+
+namespace {
+void runTraced(void* raw) {
+  auto* t = *static_cast<TracingLayer::Trampoline**>(raw);
+  trace::Span span("task", static_cast<std::int64_t>(t->index));
+  t->fn(t->payload.data());
+}
+} // namespace
+
+TracingLayer::TracingLayer(std::unique_ptr<TaskingLayer> inner)
+    : inner_(std::move(inner)) {
+  PIPOLY_CHECK(inner_ != nullptr);
+}
+
+TracingLayer::~TracingLayer() = default;
+
+void TracingLayer::createTask(TaskFunction f, const void* input,
+                              std::size_t inputSize, std::int64_t outDepend,
+                              int outIdx, const std::int64_t* inDepend,
+                              const int* inIdx, std::size_t dependNum) {
+  auto tramp = std::make_unique<Trampoline>();
+  tramp->index = created_++;
+  tramp->fn = f;
+  tramp->payload.resize(inputSize);
+  if (inputSize > 0)
+    std::memcpy(tramp->payload.data(), input, inputSize);
+  Trampoline* raw = tramp.get();
+  trampolines_.push_back(std::move(tramp));
+  inner_->createTask(&runTraced, &raw, sizeof(raw), outDepend, outIdx,
+                     inDepend, inIdx, dependNum);
+}
+
+void TracingLayer::reserveDependencySlots(std::size_t numSlots) {
+  inner_->reserveDependencySlots(numSlots);
+}
+
+void TracingLayer::run(const std::function<void()>& spawner) {
+  trampolines_.clear();
+  created_ = 0;
+  trace::Span span("tasking.run");
+  inner_->run(spawner);
+}
+
+} // namespace pipoly::tasking

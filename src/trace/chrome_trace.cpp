@@ -1,0 +1,123 @@
+#include "trace/chrome_trace.hpp"
+
+#include "support/assert.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace pipoly::trace {
+
+namespace {
+
+/// Microsecond timestamp with fixed sub-microsecond precision — fixed
+/// format keeps the output stable for the golden tests.
+std::string micros(std::int64_t nanos) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", nanos / 1000,
+                static_cast<int>(nanos % 1000));
+  return buf;
+}
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+} // namespace
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+std::string toChromeJson(const Trace& trace) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto line = [&]() -> std::ostringstream& {
+    if (!first)
+      os << ",\n";
+    first = false;
+    return os;
+  };
+
+  // Metadata: one process_name per distinct pid, one thread_name per tid.
+  std::set<int> pids;
+  for (const ThreadInfo& t : trace.threads)
+    pids.insert(t.pid);
+  for (int pid : pids)
+    line() << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+           << ", \"tid\": 0, \"args\": {\"name\": \""
+           << (pid == 1 ? "pipoly" : "predicted (simulator)") << "\"}}";
+  for (std::size_t tid = 0; tid < trace.threads.size(); ++tid)
+    line() << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+           << trace.threads[tid].pid << ", \"tid\": " << tid
+           << ", \"args\": {\"name\": \""
+           << jsonEscape(trace.threads[tid].name) << "\"}}";
+
+  for (const TraceEvent& ev : trace.events) {
+    PIPOLY_CHECK_MSG(ev.tid < trace.threads.size(),
+                     "trace event names an unknown thread");
+    const int pid = trace.threads[ev.tid].pid;
+    const char* ph = nullptr;
+    switch (ev.kind) {
+    case EventKind::Begin:
+      ph = "B";
+      break;
+    case EventKind::End:
+      ph = "E";
+      break;
+    case EventKind::Instant:
+      ph = "i";
+      break;
+    case EventKind::Counter:
+      ph = "C";
+      break;
+    }
+    line() << "  {\"name\": \"" << jsonEscape(ev.name) << "\", \"ph\": \""
+           << ph << "\", \"ts\": " << micros(ev.tsNanos)
+           << ", \"pid\": " << pid << ", \"tid\": " << ev.tid;
+    if (ev.kind == EventKind::Instant)
+      os << ", \"s\": \"t\"";
+    if (ev.kind == EventKind::Counter)
+      os << ", \"args\": {\"value\": " << number(ev.value) << "}";
+    else if (ev.arg != kNoArg)
+      os << ", \"args\": {\"arg\": " << ev.arg << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+} // namespace pipoly::trace

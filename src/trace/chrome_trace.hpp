@@ -1,0 +1,24 @@
+#pragma once
+
+// Chrome Trace Event Format export of a drained Trace: load the output
+// in chrome://tracing or https://ui.perfetto.dev. One JSON object per
+// line (the schema tests parse it line-wise); spans become B/E pairs,
+// instants "i" events, counters "C" events, and every track gets
+// process_name/thread_name metadata so compile phases, real workers and
+// the simulator's predicted timeline render as separate named tracks.
+
+#include "trace/trace.hpp"
+
+#include <string>
+
+namespace pipoly::trace {
+
+/// Serializes the trace as Chrome Trace Event Format JSON. Timestamps
+/// are exported in microseconds (the format's unit).
+std::string toChromeJson(const Trace& trace);
+
+/// Escapes a string for embedding in a JSON literal (used by every trace
+/// exporter; exposed for tests).
+std::string jsonEscape(const std::string& text);
+
+} // namespace pipoly::trace

@@ -1,0 +1,296 @@
+#include "trace/metrics.hpp"
+
+#include "support/assert.hpp"
+#include "trace/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace pipoly::trace {
+
+MetricsSummary summarizeTrace(const Trace& trace) {
+  std::map<std::string, SpanStat> spans;
+  std::map<std::string, CounterStat> counters;
+  std::map<std::string, InstantStat> instants;
+  // Latest-sample tracking for counters (events are monotone per tid but
+  // interleave across tids).
+  std::map<std::string, std::int64_t> counterLastTs;
+
+  // Per-tid stacks of open Begin events; a drained Trace is balanced per
+  // tid, which stop() guarantees.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> open;
+  for (const TraceEvent& ev : trace.events) {
+    switch (ev.kind) {
+    case EventKind::Begin:
+      open[ev.tid].push_back(&ev);
+      break;
+    case EventKind::End: {
+      auto& stack = open[ev.tid];
+      PIPOLY_CHECK_MSG(!stack.empty(), "unbalanced End event in trace");
+      const TraceEvent* begin = stack.back();
+      stack.pop_back();
+      SpanStat& s = spans[begin->name];
+      const std::int64_t dur = ev.tsNanos - begin->tsNanos;
+      if (s.count == 0) {
+        s.name = begin->name;
+        s.minNanos = s.maxNanos = dur;
+      }
+      s.count += 1;
+      s.totalNanos += dur;
+      s.minNanos = std::min(s.minNanos, dur);
+      s.maxNanos = std::max(s.maxNanos, dur);
+      break;
+    }
+    case EventKind::Instant: {
+      InstantStat& s = instants[ev.name];
+      s.name = ev.name;
+      s.count += 1;
+      break;
+    }
+    case EventKind::Counter: {
+      CounterStat& s = counters[ev.name];
+      if (s.count == 0) {
+        s.name = ev.name;
+        s.max = ev.value;
+        counterLastTs[ev.name] = ev.tsNanos;
+        s.last = ev.value;
+      }
+      s.count += 1;
+      s.max = std::max(s.max, ev.value);
+      auto& lastTs = counterLastTs[ev.name];
+      if (ev.tsNanos >= lastTs) {
+        lastTs = ev.tsNanos;
+        s.last = ev.value;
+      }
+      break;
+    }
+    }
+  }
+
+  MetricsSummary summary;
+  for (auto& [name, s] : spans)
+    summary.spans.push_back(std::move(s));
+  for (auto& [name, s] : counters)
+    summary.counters.push_back(std::move(s));
+  for (auto& [name, s] : instants)
+    summary.instants.push_back(std::move(s));
+  return summary;
+}
+
+namespace {
+
+std::string numberJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+} // namespace
+
+std::string toJson(const MetricsSummary& summary) {
+  std::ostringstream os;
+  os << "{\n  \"spans\": [";
+  for (std::size_t i = 0; i < summary.spans.size(); ++i) {
+    const SpanStat& s = summary.spans[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << jsonEscape(s.name)
+       << "\", \"count\": " << s.count << ", \"total_ns\": " << s.totalNanos
+       << ", \"min_ns\": " << s.minNanos << ", \"max_ns\": " << s.maxNanos
+       << "}";
+  }
+  os << (summary.spans.empty() ? "" : "\n  ") << "],\n  \"counters\": [";
+  for (std::size_t i = 0; i < summary.counters.size(); ++i) {
+    const CounterStat& s = summary.counters[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << jsonEscape(s.name)
+       << "\", \"count\": " << s.count << ", \"last\": " << numberJson(s.last)
+       << ", \"max\": " << numberJson(s.max) << "}";
+  }
+  os << (summary.counters.empty() ? "" : "\n  ") << "],\n  \"instants\": [";
+  for (std::size_t i = 0; i < summary.instants.size(); ++i) {
+    const InstantStat& s = summary.instants[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \"" << jsonEscape(s.name)
+       << "\", \"count\": " << s.count << "}";
+  }
+  os << (summary.instants.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the restricted JSON toJson
+/// emits: an object of arrays of flat objects with string/number values.
+class Cursor {
+public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    PIPOLY_CHECK_MSG(consume(c), std::string("metrics JSON: expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        PIPOLY_CHECK_MSG(pos_ < text_.size(),
+                         "metrics JSON: truncated escape");
+        char e = text_[pos_++];
+        switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u': {
+          PIPOLY_CHECK_MSG(pos_ + 4 <= text_.size(),
+                           "metrics JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              PIPOLY_CHECK_MSG(false, "metrics JSON: bad \\u escape");
+          }
+          PIPOLY_CHECK_MSG(code < 0x80,
+                           "metrics JSON: only ASCII \\u escapes supported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          PIPOLY_CHECK_MSG(false, "metrics JSON: unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  double parseNumber() {
+    skipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    PIPOLY_CHECK_MSG(pos_ > start, "metrics JSON: expected a number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  std::string parseKey() {
+    std::string key = parseString();
+    expect(':');
+    return key;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return pos_ >= text_.size();
+  }
+
+private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+MetricsSummary parseMetricsJson(const std::string& json) {
+  Cursor c(json);
+  MetricsSummary summary;
+  c.expect('{');
+  bool firstSection = true;
+  while (!c.consume('}')) {
+    if (!firstSection)
+      c.expect(',');
+    firstSection = false;
+    const std::string section = c.parseKey();
+    c.expect('[');
+    bool firstEntry = true;
+    while (!c.consume(']')) {
+      if (!firstEntry)
+        c.expect(',');
+      firstEntry = false;
+      c.expect('{');
+      std::string name;
+      std::map<std::string, double> fields;
+      bool firstField = true;
+      while (!c.consume('}')) {
+        if (!firstField)
+          c.expect(',');
+        firstField = false;
+        const std::string key = c.parseKey();
+        if (key == "name")
+          name = c.parseString();
+        else
+          fields[key] = c.parseNumber();
+      }
+      if (section == "spans") {
+        SpanStat s;
+        s.name = name;
+        s.count = static_cast<std::uint64_t>(fields.at("count"));
+        s.totalNanos = static_cast<std::int64_t>(fields.at("total_ns"));
+        s.minNanos = static_cast<std::int64_t>(fields.at("min_ns"));
+        s.maxNanos = static_cast<std::int64_t>(fields.at("max_ns"));
+        summary.spans.push_back(std::move(s));
+      } else if (section == "counters") {
+        CounterStat s;
+        s.name = name;
+        s.count = static_cast<std::uint64_t>(fields.at("count"));
+        s.last = fields.at("last");
+        s.max = fields.at("max");
+        summary.counters.push_back(std::move(s));
+      } else if (section == "instants") {
+        InstantStat s;
+        s.name = name;
+        s.count = static_cast<std::uint64_t>(fields.at("count"));
+        summary.instants.push_back(std::move(s));
+      } else {
+        PIPOLY_CHECK_MSG(false, "metrics JSON: unknown section '" + section +
+                                    "'");
+      }
+    }
+  }
+  PIPOLY_CHECK_MSG(c.atEnd(), "metrics JSON: trailing content");
+  return summary;
+}
+
+} // namespace pipoly::trace

@@ -1,0 +1,63 @@
+#pragma once
+
+// Flat metrics summary distilled from a drained Trace: per-span-name
+// duration statistics, per-counter-name sample statistics and instant
+// counts. The JSON serialization is intentionally restricted (fixed key
+// order, integers for durations) so it round-trips exactly through
+// parseMetricsJson — the property the metrics tests pin down.
+
+#include "trace/trace.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipoly::trace {
+
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t totalNanos = 0;
+  std::int64_t minNanos = 0;
+  std::int64_t maxNanos = 0;
+
+  bool operator==(const SpanStat&) const = default;
+};
+
+struct CounterStat {
+  std::string name;
+  std::uint64_t count = 0; // samples
+  double last = 0.0;       // value of the latest sample (by timestamp)
+  double max = 0.0;
+
+  bool operator==(const CounterStat&) const = default;
+};
+
+struct InstantStat {
+  std::string name;
+  std::uint64_t count = 0;
+
+  bool operator==(const InstantStat&) const = default;
+};
+
+struct MetricsSummary {
+  std::vector<SpanStat> spans;       // sorted by name
+  std::vector<CounterStat> counters; // sorted by name
+  std::vector<InstantStat> instants; // sorted by name
+
+  bool operator==(const MetricsSummary&) const = default;
+};
+
+/// Aggregates span durations (matching Begin/End per thread — drained
+/// traces are balanced by construction), counter samples and instants
+/// across all threads, keyed by event name.
+MetricsSummary summarizeTrace(const Trace& trace);
+
+/// Serializes a summary as JSON.
+std::string toJson(const MetricsSummary& summary);
+
+/// Parses the exact JSON produced by toJson (round-trip inverse).
+/// Throws pipoly::Error on malformed input.
+MetricsSummary parseMetricsJson(const std::string& json);
+
+} // namespace pipoly::trace

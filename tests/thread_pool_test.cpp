@@ -187,6 +187,29 @@ TEST(ThreadPoolTest, ExceptionMidGraphStillRunsDependentsFirstErrorWins) {
   pool.waitAll();
 }
 
+TEST(ThreadPoolTest, WakeCapParsingAcceptsOnlyPositiveIntegers) {
+  EXPECT_EQ(parseWakeCap("1"), 1u);
+  EXPECT_EQ(parseWakeCap("4"), 4u);
+  EXPECT_EQ(parseWakeCap("128"), 128u);
+  EXPECT_EQ(parseWakeCap("  8  "), 8u); // surrounding whitespace is fine
+}
+
+TEST(ThreadPoolTest, WakeCapParsingRejectsGarbage) {
+  // The env var used to go straight through atoi-style parsing, silently
+  // turning typos into a wake cap of 0 (no wakeups beyond the first).
+  EXPECT_EQ(parseWakeCap(nullptr), std::nullopt);
+  EXPECT_EQ(parseWakeCap(""), std::nullopt);
+  EXPECT_EQ(parseWakeCap("   "), std::nullopt);
+  EXPECT_EQ(parseWakeCap("abc"), std::nullopt);
+  EXPECT_EQ(parseWakeCap("4x"), std::nullopt);   // trailing garbage
+  EXPECT_EQ(parseWakeCap("3.5"), std::nullopt);  // not an integer
+  EXPECT_EQ(parseWakeCap("0"), std::nullopt);    // zero disables wakeups
+  EXPECT_EQ(parseWakeCap("-3"), std::nullopt);   // strtoul would wrap this
+  EXPECT_EQ(parseWakeCap("+4"), std::nullopt);   // no signs accepted
+  EXPECT_EQ(parseWakeCap("0x10"), std::nullopt); // decimal only
+  EXPECT_EQ(parseWakeCap("99999999999999999999"), std::nullopt); // overflow
+}
+
 TEST(ThreadPoolTest, SingleWorkerExecutesAnyDagInTopologicalOrder) {
   DependencyThreadPool pool(1);
   SplitMix64 rng(11);

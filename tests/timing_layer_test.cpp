@@ -2,12 +2,15 @@
 
 #include "codegen/task_program.hpp"
 #include "tasking/executor.hpp"
+#include "tasking/tracing_layer.hpp"
 #include "testing/fixtures.hpp"
 #include "testing/interpreted_kernel.hpp"
+#include "trace/trace.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <thread>
 
 namespace pipoly::tasking {
@@ -108,6 +111,63 @@ TEST(TimingLayerTest, DependentChainRecordsDoNotOverlap) {
     EXPECT_LE(layer.timings()[static_cast<std::size_t>(k) - 1].finish,
               layer.timings()[static_cast<std::size_t>(k)].start + 1e-9)
         << "chained tasks " << k - 1 << " and " << k << " overlapped";
+}
+
+TEST(TimingLayerTest, AgreesWithTracingLayerOnSerializedRun) {
+  // Compose timing(tracing(serial)): both layers observe the same
+  // serialized execution, so the trace's per-task "task" spans must agree
+  // with the timing records — same count, same creation indices, and
+  // every span must enclose its timed interval (the span brackets the
+  // timed body plus the record bookkeeping).
+  trace::Session session;
+  session.start();
+
+  TimingLayer layer(
+      std::make_unique<TracingLayer>(makeSerialBackend()));
+  auto spin = +[](void*) {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+    while (std::chrono::steady_clock::now() < until)
+      ;
+  };
+  int dummy = 0;
+  constexpr std::size_t kTasks = 5;
+  layer.run([&] {
+    for (std::size_t k = 0; k < kTasks; ++k)
+      layer.createTask(spin, &dummy, sizeof(dummy),
+                       static_cast<std::int64_t>(k), 0, nullptr, nullptr, 0);
+  });
+  session.stop();
+
+  // Collect span durations keyed by the task index carried in the arg.
+  std::map<std::int64_t, double> spanStart, spanSeconds;
+  for (const trace::TraceEvent& ev : session.trace().events) {
+    if (ev.name != std::string("task"))
+      continue;
+    if (ev.kind == trace::EventKind::Begin) {
+      EXPECT_EQ(spanStart.count(ev.arg), 0u) << "duplicate span " << ev.arg;
+      spanStart[ev.arg] = static_cast<double>(ev.tsNanos) * 1e-9;
+    } else if (ev.kind == trace::EventKind::End) {
+      ASSERT_EQ(spanStart.count(ev.arg), 1u) << "unmatched End " << ev.arg;
+      spanSeconds[ev.arg] =
+          static_cast<double>(ev.tsNanos) * 1e-9 - spanStart[ev.arg];
+    }
+  }
+
+  ASSERT_EQ(layer.timings().size(), kTasks);
+  ASSERT_EQ(spanSeconds.size(), kTasks);
+  for (std::size_t k = 0; k < kTasks; ++k) {
+    const TimedTask& timed = layer.timings()[k];
+    EXPECT_EQ(timed.index, k);
+    ASSERT_EQ(spanSeconds.count(static_cast<std::int64_t>(k)), 1u);
+    const double span = spanSeconds[static_cast<std::int64_t>(k)];
+    const double inner = timed.finish - timed.start;
+    EXPECT_GE(inner, 0.002 - 1e-4) << "task " << k << " spun too briefly";
+    // The span encloses the timed interval; a generous upper slack keeps
+    // the check robust under sanitizers.
+    EXPECT_GE(span, inner - 1e-4) << "task " << k;
+    EXPECT_LE(span, inner + 0.05) << "task " << k;
+  }
 }
 
 TEST(TimingLayerTest, ResetsBetweenRuns) {
