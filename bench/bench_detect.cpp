@@ -1,4 +1,5 @@
-// Serial vs parallel pipeline detection (EXPERIMENTS.md E15).
+// Serial vs parallel pipeline detection (EXPERIMENTS.md E15), the paper
+// suite serial-detection benchmark and the DetectCache gate (E17).
 //
 // Synthetic SCoPs with 8-64 consecutive nests over large rectangular
 // domains: nest k writes A_k[i][j], reads its own diagonal neighbour
@@ -7,19 +8,28 @@
 // Algorithm-1 work, grows with the statement count.
 //
 // Usage:
-//   bench_detect [--smoke] [--trace=FILE] [threads...]
-//                                           (default threads: 2 4 8)
+//   bench_detect [--smoke] [--suite] [--detect-cache] [--json=FILE]
+//                [--trace=FILE] [threads...]   (default threads: 2 4 8)
 //
 // --trace=FILE traces the run (detection phase spans, per-unit spans)
 // and writes Chrome Trace Event JSON for chrome://tracing / Perfetto.
 //
 // --smoke runs one small configuration, verifies that parallel detection
 // is bit-identical to serial, and exits non-zero on mismatch — the CI
-// correctness hook.
+// correctness hook. With --detect-cache it additionally verifies that a
+// cached result is bit-identical to recomputation and that a warm rerun
+// is >= 5x faster than the cold compile, failing the run otherwise.
+//
+// --suite times serial end-to-end detection over the paper programs
+// P1-P10 at N=16 (the E17 reference metric); with --detect-cache it adds
+// a cold-vs-warm DetectCache pass over the whole suite. --json=FILE
+// writes the measurements as machine-readable JSON (BENCH_detect.json).
 
 #include "pipeline/detect.hpp"
+#include "pipeline/detect_cache.hpp"
 
 #include "bench_common.hpp"
+#include "kernels/suite.hpp"
 #include "scop/builder.hpp"
 #include "support/stopwatch.hpp"
 #include "trace/chrome_trace.hpp"
@@ -105,7 +115,7 @@ double timeDetect(const scop::Scop& scop, unsigned threads, int reps,
   return best;
 }
 
-int runSmoke() {
+int runSmoke(bool useCache) {
   const scop::Scop scop = syntheticScop(16, 24);
   pipeline::PipelineInfo serial, parallel;
   timeDetect(scop, 0, 1, &serial);
@@ -118,6 +128,125 @@ int runSmoke() {
   std::printf("bench_detect --smoke: OK — 16 statements, %zu pipeline maps, "
               "%zu blocks, parallel(4) == serial\n",
               serial.maps.size(), serial.totalBlocks());
+  if (!useCache)
+    return 0;
+
+  pipeline::DetectCache cache;
+  Stopwatch coldSw;
+  pipeline::PipelineInfo cold = cache.getOrCompute(scop);
+  const double coldSec = coldSw.seconds();
+  double warmSec = 0;
+  pipeline::PipelineInfo warm;
+  for (int r = 0; r < 5; ++r) {
+    Stopwatch warmSw;
+    warm = cache.getOrCompute(scop);
+    const double t = warmSw.seconds();
+    if (r == 0 || t < warmSec)
+      warmSec = t;
+  }
+  const pipeline::DetectCache::Stats stats = cache.stats();
+  if (!infoEquals(serial, cold) || !infoEquals(serial, warm)) {
+    std::printf("bench_detect --smoke: FAIL — cached PipelineInfo differs "
+                "from recomputation\n");
+    return 1;
+  }
+  if (stats.misses != 1 || stats.hits != 5) {
+    std::printf("bench_detect --smoke: FAIL — expected 1 miss / 5 hits, "
+                "got %llu / %llu\n",
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.hits));
+    return 1;
+  }
+  const double speedup = coldSec / warmSec;
+  std::printf("bench_detect --smoke: cache cold %.3f ms, warm %.3f ms, "
+              "%.1fx\n",
+              coldSec * 1e3, warmSec * 1e3, speedup);
+  if (speedup < 5.0) {
+    std::printf("bench_detect --smoke: FAIL — warm rerun speedup %.1fx "
+                "below the 5x gate\n",
+                speedup);
+    return 1;
+  }
+  return 0;
+}
+
+/// Serial end-to-end detection over the paper suite P1-P10 at N=16 (the
+/// EXPERIMENTS.md E17 reference), optionally with a cold/warm DetectCache
+/// pass and a JSON dump.
+int runSuite(bool useCache, const std::string& jsonPath) {
+  constexpr pb::Value kN = 16;
+  constexpr int kReps = 10;
+  std::vector<scop::Scop> scops;
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs())
+    scops.push_back(kernels::buildProgram(spec, kN));
+
+  pipoly::bench::Table table({"program", "serial_ms", "maps", "blocks"});
+  std::vector<double> perProgram;
+  std::vector<std::size_t> blocks;
+  double totalSerial = 0;
+  const auto& specs = kernels::table9Programs();
+  for (std::size_t p = 0; p < scops.size(); ++p) {
+    pipeline::PipelineInfo info;
+    const double sec = timeDetect(scops[p], 0, kReps, &info);
+    perProgram.push_back(sec);
+    blocks.push_back(info.totalBlocks());
+    totalSerial += sec;
+    table.addRow({specs[p].name, pipoly::bench::fmt(sec * 1e3, 3),
+                  std::to_string(info.maps.size()),
+                  std::to_string(info.totalBlocks())});
+  }
+  std::printf("bench_detect --suite: P1-P10, N=%lld, serial "
+              "(best-of-%d per program)\n",
+              static_cast<long long>(kN), kReps);
+  table.print();
+  std::printf("total serial: %.3f ms\n", totalSerial * 1e3);
+
+  double coldTotal = 0, warmTotal = 0;
+  if (useCache) {
+    pipeline::DetectCache cache;
+    Stopwatch coldSw;
+    for (const scop::Scop& s : scops)
+      (void)cache.getOrCompute(s);
+    coldTotal = coldSw.seconds();
+    warmTotal = 0;
+    for (int r = 0; r < kReps; ++r) {
+      Stopwatch warmSw;
+      for (const scop::Scop& s : scops)
+        (void)cache.getOrCompute(s);
+      const double t = warmSw.seconds();
+      if (r == 0 || t < warmTotal)
+        warmTotal = t;
+    }
+    const pipeline::DetectCache::Stats stats = cache.stats();
+    std::printf("detect cache: cold %.3f ms, warm %.3f ms, %.1fx "
+                "(%llu hits, %llu misses, %zu entries)\n",
+                coldTotal * 1e3, warmTotal * 1e3, coldTotal / warmTotal,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                stats.entries);
+  }
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out.good()) {
+      std::printf("bench_detect: cannot write '%s'\n", jsonPath.c_str());
+      return 1;
+    }
+    out << "{\n  \"suite\": \"P1-P10\",\n  \"n\": " << kN
+        << ",\n  \"reps\": " << kReps << ",\n  \"programs\": [\n";
+    for (std::size_t p = 0; p < perProgram.size(); ++p)
+      out << "    {\"name\": \"" << specs[p].name
+          << "\", \"serial_ms\": " << perProgram[p] * 1e3
+          << ", \"blocks\": " << blocks[p] << "}"
+          << (p + 1 < perProgram.size() ? ",\n" : "\n");
+    out << "  ],\n  \"total_serial_ms\": " << totalSerial * 1e3;
+    if (useCache)
+      out << ",\n  \"cache\": {\"cold_ms\": " << coldTotal * 1e3
+          << ", \"warm_ms\": " << warmTotal * 1e3
+          << ", \"speedup\": " << coldTotal / warmTotal << "}";
+    out << "\n}\n";
+    std::printf("bench_detect: wrote '%s'\n", jsonPath.c_str());
+  }
   return 0;
 }
 
@@ -144,13 +273,19 @@ int dumpTrace(trace::Session& session, const std::string& path) {
 
 int main(int argc, char** argv) {
   std::vector<unsigned> threadCounts;
-  std::string tracePath;
-  bool smoke = false;
+  std::string tracePath, jsonPath;
+  bool smoke = false, suite = false, useCache = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0)
       smoke = true;
+    else if (std::strcmp(argv[a], "--suite") == 0)
+      suite = true;
+    else if (std::strcmp(argv[a], "--detect-cache") == 0)
+      useCache = true;
     else if (std::strncmp(argv[a], "--trace=", 8) == 0)
       tracePath = argv[a] + 8;
+    else if (std::strncmp(argv[a], "--json=", 7) == 0)
+      jsonPath = argv[a] + 7;
     else
       threadCounts.push_back(static_cast<unsigned>(std::atoi(argv[a])));
   }
@@ -162,7 +297,12 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) {
-    const int rc = runSmoke();
+    const int rc = runSmoke(useCache);
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
+  }
+  if (suite) {
+    const int rc = runSuite(useCache, jsonPath);
     const int traceRc = dumpTrace(session, tracePath);
     return rc != 0 ? rc : traceRc;
   }

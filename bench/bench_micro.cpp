@@ -18,7 +18,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace {
 
@@ -41,6 +44,80 @@ scop::Scop listing1(pb::Value n) {
   R.read(B, {R.dim(0), R.dim(1) + 1});
   return b.build();
 }
+
+// ---- flat presburger-op microbenches -------------------------------------
+// Synthetic inputs sized by point count (10^3 .. 10^6) rather than via a
+// SCoP, so these isolate the flat-storage merge/gallop kernels themselves.
+
+pb::IntTupleSet gridSet(pb::Value count, pb::Value offset) {
+  const auto side =
+      static_cast<pb::Value>(std::ceil(std::sqrt(static_cast<double>(count))));
+  std::vector<pb::Tuple> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (pb::Value i = 0; i < count; ++i)
+    pts.push_back(pb::Tuple{offset + i / side, offset + i % side});
+  return pb::IntTupleSet(pb::Space("G", 2), std::move(pts));
+}
+
+/// count pairs, kFanOut outputs per input: lexminPerDomain does real
+/// group-sweep work instead of taking the single-valued share fast path.
+pb::IntMap fanOutMap(pb::Value count) {
+  constexpr pb::Value kFanOut = 4;
+  std::vector<std::pair<pb::Tuple, pb::Tuple>> pairs;
+  pairs.reserve(static_cast<std::size_t>(count));
+  for (pb::Value i = 0; i < count; ++i)
+    pairs.emplace_back(pb::Tuple{i / kFanOut, 0},
+                       pb::Tuple{i % kFanOut, i / kFanOut});
+  return pb::IntMap(pb::Space("I", 2), pb::Space("O", 2), std::move(pairs));
+}
+
+void BM_FlatUnite(benchmark::State& state) {
+  const auto n = static_cast<pb::Value>(state.range(0));
+  // Half-overlapping grids: exercises the real merge, not the
+  // disjoint-range concat fast path.
+  const pb::IntTupleSet a = gridSet(n, 0);
+  const pb::IntTupleSet b = gridSet(n, static_cast<pb::Value>(
+                                           std::sqrt(static_cast<double>(n)) /
+                                           2));
+  for (auto _ : state) {
+    auto u = a.unite(b);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_FlatUnite)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FlatCompose(benchmark::State& state) {
+  const auto n = static_cast<pb::Value>(state.range(0));
+  const pb::IntTupleSet dom = gridSet(n, 0);
+  const pb::IntMap inner = pb::IntMap::fromFunction(
+      dom, pb::Space("M", 2),
+      [](const pb::Tuple& t) { return pb::Tuple{t[1], t[0]}; });
+  const pb::IntMap outer = pb::IntMap::fromFunction(
+      inner.range(), pb::Space("O", 2),
+      [](const pb::Tuple& t) { return pb::Tuple{t[0] + t[1], t[0]}; });
+  for (auto _ : state) {
+    auto c = outer.compose(inner);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatCompose)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_FlatLexminPerDomain(benchmark::State& state) {
+  const auto n = static_cast<pb::Value>(state.range(0));
+  const pb::IntMap m = fanOutMap(n);
+  for (auto _ : state) {
+    auto r = m.lexminPerDomain();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatLexminPerDomain)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
 
 void BM_ParseSet(benchmark::State& state) {
   for (auto _ : state) {

@@ -29,6 +29,9 @@
 //                   write Chrome Trace Event JSON — open in
 //                   chrome://tracing or https://ui.perfetto.dev
 //     --metrics     print aggregated span/counter metrics as JSON
+//     --detect-cache  route detection through the process DetectCache
+//                   (a second lookup verifies the memoized result is
+//                   bit-identical) and report hit/miss stats on stderr
 //
 // Example:
 //   ./build/examples/pipolyc --maps --ast --simulate 8
@@ -41,6 +44,7 @@
 #include "frontend/frontend.hpp"
 #include "opt/optimizer.hpp"
 #include "pipeline/detect.hpp"
+#include "pipeline/detect_cache.hpp"
 #include "pipeline/report.hpp"
 #include "schedule/build.hpp"
 #include "sim/granularity_tuner.hpp"
@@ -80,7 +84,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: pipolyc [--maps] [--tree] [--ast] [--tasks] [--dot] "
                "[--optimize] [--emit-c] [--simulate N] [--timeline N] "
-               "[--trace=FILE] [--metrics] [file]\n");
+               "[--trace=FILE] [--metrics] [--detect-cache] [file]\n");
   return 2;
 }
 
@@ -90,7 +94,7 @@ int main(int argc, char** argv) {
   bool maps = false, tree = false, astOut = false, annotated = false,
        tasks = false, dot = false, json = false, report = false,
        emitC = false, verifyRun = false, optimizeRun = false;
-  bool metricsOut = false;
+  bool metricsOut = false, detectCache = false;
   unsigned simulateWorkers = 0, timelineWorkers = 0, tuneWorkers = 0;
   std::string path, tracePath;
   frontend::ParamOverrides params;
@@ -121,6 +125,8 @@ int main(int argc, char** argv) {
       emitC = true;
     else if (arg == "--metrics")
       metricsOut = true;
+    else if (arg == "--detect-cache")
+      detectCache = true;
     else if (arg.rfind("--trace=", 0) == 0) {
       tracePath = arg.substr(8);
       if (tracePath.empty())
@@ -176,7 +182,21 @@ int main(int argc, char** argv) {
 
     trace::beginSpan("compile");
     scop::Scop scop = frontend::parseProgram(source, params);
-    pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+    pipeline::PipelineInfo info;
+    if (detectCache) {
+      static pipeline::DetectCache cache;
+      info = cache.getOrCompute(scop);
+      info = cache.getOrCompute(scop); // warm lookup: exercises the hit path
+      const pipeline::DetectCache::Stats st = cache.stats();
+      std::fprintf(stderr,
+                   "pipolyc: detect cache %llu hit(s), %llu miss(es), "
+                   "%zu entr%s\n",
+                   static_cast<unsigned long long>(st.hits),
+                   static_cast<unsigned long long>(st.misses), st.entries,
+                   st.entries == 1 ? "y" : "ies");
+    } else {
+      info = pipeline::detectPipeline(scop);
+    }
     std::unique_ptr<sched::ScheduleNode> schedTree;
     {
       trace::Span span("compile.schedule");

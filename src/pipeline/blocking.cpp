@@ -10,20 +10,30 @@ pb::IntMap blockingMap(const pb::IntTupleSet& domain,
                        const pb::IntTupleSet& boundaries) {
   PIPOLY_CHECK(boundaries.isSubsetOf(domain));
   PIPOLY_CHECK_MSG(!domain.empty(), "blocking an empty domain");
-  const auto& bounds = boundaries.points();
-  const pb::Tuple& last = domain.lexmax();
-  std::vector<pb::IntMap::Pair> pairs;
-  pairs.reserve(domain.size());
-  // Both point vectors are sorted, so the smallest boundary lexge each
+  const std::size_t a = domain.arity();
+  if (a == 0)
+    return pb::IntMap(domain.space(), domain.space(),
+                      {{pb::Tuple{}, pb::Tuple{}}});
+  const pb::RowBuffer& dom = domain.rowData();
+  const pb::RowBuffer& bnd = boundaries.rowData();
+  const std::size_t nd = domain.size(), nb = boundaries.size();
+  const pb::Tuple last = domain.lexmax();
+  pb::RowBuffer rows;
+  rows.reserve(nd * 2 * a);
+  // Both row buffers are sorted, so the smallest boundary lexge each
   // iteration advances monotonically: one merge sweep instead of a
-  // binary search per iteration.
-  auto bound = bounds.begin();
-  for (const pb::Tuple& it : domain.points()) {
-    while (bound != bounds.end() && *bound < it)
-      ++bound;
-    pairs.emplace_back(it, bound == bounds.end() ? last : *bound);
+  // binary search per iteration. Emission is keyed by the iteration, so
+  // the rows come out sorted.
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < nd; ++i) {
+    const pb::Value* it = &dom[i * a];
+    while (j < nb && pb::rows::less(&bnd[j * a], it, a))
+      ++j;
+    pb::rows::append(rows, it, a);
+    pb::rows::append(rows, j == nb ? last.data() : &bnd[j * a], a);
   }
-  pb::IntMap result(domain.space(), domain.space(), std::move(pairs));
+  pb::IntMap result = pb::IntMap::fromSortedRows(
+      domain.space(), domain.space(), std::move(rows));
   PIPOLY_ASSERT(result.isSingleValued());
   return result;
 }
@@ -57,48 +67,65 @@ pb::IntMap integrateBlockingMaps(const std::vector<pb::IntMap>& maps) {
   if (maps.size() == 1)
     return maps.front().lexminPerDomain();
 
-  // Blocking maps are total and single-valued on one shared domain, so
-  // every map lists the same domain points at the same indices and Σ is a
-  // per-index lexmin over the k image columns — one O(k·|domain|) sweep
-  // instead of the old pairwise unite chain (O(k²·|domain|) with a full
-  // re-merge per step).
   const pb::IntMap& first = maps.front();
+  const std::size_t inA = first.domainSpace().arity();
+  const std::size_t outA = first.rangeSpace().arity();
+  const std::size_t w = inA + outA;
+  if (w == 0) {
+    pb::IntMap acc = first;
+    for (const pb::IntMap& m : maps)
+      acc = acc.unite(m);
+    return acc;
+  }
+
+  // Blocking maps are total and single-valued on one shared domain, so
+  // every map lists the same domain points at the same row indices and Σ
+  // is a per-index lexmin over the k image columns — one O(k·|domain|)
+  // sweep instead of the old pairwise unite chain (O(k²·|domain|) with a
+  // full re-merge per step).
   bool aligned = true;
   for (const pb::IntMap& m : maps)
     aligned = aligned && m.size() == first.size() &&
               m.domainSpace() == first.domainSpace() &&
               m.rangeSpace() == first.rangeSpace();
   if (aligned) {
-    std::vector<pb::IntMap::Pair> pairs;
-    pairs.reserve(first.size());
-    for (std::size_t i = 0; i < first.size() && aligned; ++i) {
-      const pb::IntMap::Pair* best = &first.pairs()[i];
+    const std::size_t n = first.size();
+    std::vector<const pb::RowBuffer*> bufs;
+    bufs.reserve(maps.size());
+    for (const pb::IntMap& m : maps)
+      bufs.push_back(&m.rowData());
+    pb::RowBuffer rows;
+    rows.reserve(n * w);
+    for (std::size_t i = 0; i < n && aligned; ++i) {
+      const pb::Value* best = &(*bufs[0])[i * w];
       for (std::size_t k = 1; k < maps.size(); ++k) {
-        const pb::IntMap::Pair& p = maps[k].pairs()[i];
-        if (p.first != best->first) {
+        const pb::Value* p = &(*bufs[k])[i * w];
+        if (!pb::rows::equal(p, best, inA)) {
           aligned = false; // different domains after all; fall back
           break;
         }
-        if (p.second < best->second)
-          best = &p;
+        if (pb::rows::less(p + inA, best + inA, outA))
+          best = p;
       }
-      pairs.push_back(*best);
+      if (aligned)
+        pb::rows::append(rows, best, w);
     }
     if (aligned)
-      return pb::IntMap(first.domainSpace(), first.rangeSpace(),
-                        std::move(pairs));
+      return pb::IntMap::fromRows(first.domainSpace(), first.rangeSpace(),
+                                  std::move(rows));
   }
 
-  // General fallback for maps over differing domains: merge all sorted
-  // pair vectors at once, then keep the smallest image per domain point.
-  std::vector<pb::IntMap::Pair> all;
+  // General fallback for maps over differing domains: concatenate all row
+  // buffers, sort once, then keep the smallest image per domain point.
+  pb::RowBuffer all;
   std::size_t total = 0;
   for (const pb::IntMap& m : maps)
     total += m.size();
-  all.reserve(total);
+  all.reserve(total * w);
   for (const pb::IntMap& m : maps)
-    all.insert(all.end(), m.pairs().begin(), m.pairs().end());
-  return pb::IntMap(first.domainSpace(), first.rangeSpace(), std::move(all))
+    all.insert(all.end(), m.rowData().begin(), m.rowData().end());
+  return pb::IntMap::fromRows(first.domainSpace(), first.rangeSpace(),
+                              std::move(all))
       .lexminPerDomain();
 }
 

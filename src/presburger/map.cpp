@@ -3,139 +3,318 @@
 #include "support/assert.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <sstream>
 
 namespace pipoly::pb {
 
+void IntMap::adoptSorted(RowBuffer&& data) {
+  const std::size_t w = width();
+  PIPOLY_ASSERT(w > 0 || data.empty());
+  PIPOLY_ASSERT(rows::isSortedUnique(data, w));
+  if (data.empty()) {
+    rows_.reset();
+    count_ = 0;
+    return;
+  }
+  count_ = data.size() / w;
+  rows_ = std::make_shared<const RowBuffer>(std::move(data));
+}
+
+void IntMap::requireSameSpaces(const IntMap& other, const char* what) const {
+  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_, what);
+}
+
 IntMap::IntMap(Space in, Space out, std::vector<Pair> pairs)
-    : in_(std::move(in)), out_(std::move(out)), pairs_(std::move(pairs)) {
-  for (const Pair& p : pairs_) {
-    PIPOLY_CHECK_MSG(p.first.size() == in_.arity(),
+    : in_(std::move(in)), out_(std::move(out)) {
+  const std::size_t inA = inArity(), outA = outArity();
+  for (const Pair& p : pairs) {
+    PIPOLY_CHECK_MSG(p.first.size() == inA,
                      "map pair domain arity mismatch in " + in_.name());
-    PIPOLY_CHECK_MSG(p.second.size() == out_.arity(),
+    PIPOLY_CHECK_MSG(p.second.size() == outA,
                      "map pair range arity mismatch in " + out_.name());
   }
-  std::sort(pairs_.begin(), pairs_.end());
-  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+  if (inA + outA == 0) {
+    count_ = pairs.empty() ? 0 : 1;
+    return;
+  }
+  RowBuffer data;
+  data.reserve(pairs.size() * (inA + outA));
+  for (const Pair& p : pairs) {
+    rows::append(data, p.first.data(), inA);
+    rows::append(data, p.second.data(), outA);
+  }
+  // Pair order (first, then second) is exactly row order on (in ++ out).
+  rows::sortUnique(data, inA + outA);
+  adoptSorted(std::move(data));
 }
 
 IntMap IntMap::identity(const IntTupleSet& set) {
-  std::vector<Pair> pairs;
-  pairs.reserve(set.size());
-  for (const Tuple& t : set.points())
-    pairs.emplace_back(t, t);
   IntMap m(set.space(), set.space());
-  m.pairs_ = std::move(pairs); // already sorted and unique
+  const std::size_t a = set.arity();
+  if (a == 0) {
+    m.count_ = set.size();
+    return m;
+  }
+  const RowBuffer& src = set.rowData();
+  RowBuffer data;
+  data.reserve(src.size() * 2);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    rows::append(data, &src[i * a], a);
+    rows::append(data, &src[i * a], a);
+  }
+  m.adoptSorted(std::move(data)); // set order is already (x, x) order
   return m;
-}
-
-IntMap IntMap::fromFunction(const IntTupleSet& domain, Space out,
-                            const std::function<Tuple(const Tuple&)>& f) {
-  std::vector<Pair> pairs;
-  pairs.reserve(domain.size());
-  for (const Tuple& t : domain.points())
-    pairs.emplace_back(t, f(t));
-  return IntMap(domain.space(), std::move(out), std::move(pairs));
 }
 
 IntMap IntMap::lexLeSet(const IntTupleSet& from, const IntTupleSet& bounds) {
   PIPOLY_CHECK(from.space() == bounds.space());
-  std::vector<Pair> pairs;
-  for (const Tuple& i : from.points())
-    for (const Tuple& b : bounds.points())
-      if (i <= b)
-        pairs.emplace_back(i, b);
   IntMap m(from.space(), from.space());
-  m.pairs_ = std::move(pairs);
-  std::sort(m.pairs_.begin(), m.pairs_.end());
+  const std::size_t a = from.space().arity();
+  if (a == 0) {
+    m.count_ = (from.size() > 0 && bounds.size() > 0) ? 1 : 0;
+    return m;
+  }
+  const RowBuffer& fr = from.rowData();
+  const RowBuffer& bd = bounds.rowData();
+  const std::size_t nf = from.size(), nb = bounds.size();
+  RowBuffer data;
+  // Each source point pairs with the sorted suffix of bounds at or above
+  // it, so emission order is already (in, out) order; as `in` grows the
+  // suffix start only moves forward, hence the running lower bound.
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < nf; ++i) {
+    const Value* x = &fr[i * a];
+    lo = rows::lowerBound(bd.data(), nb, a, lo, x, a);
+    for (std::size_t j = lo; j < nb; ++j) {
+      rows::append(data, x, a);
+      rows::append(data, &bd[j * a], a);
+    }
+  }
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 IntMap IntMap::lexGeContains(const IntTupleSet& set) {
-  std::vector<Pair> pairs;
-  for (const Tuple& x : set.points())
-    for (const Tuple& y : set.points())
-      if (y <= x)
-        pairs.emplace_back(x, y);
   IntMap m(set.space(), set.space());
-  m.pairs_ = std::move(pairs);
-  std::sort(m.pairs_.begin(), m.pairs_.end());
+  const std::size_t a = set.arity();
+  if (a == 0) {
+    m.count_ = set.size();
+    return m;
+  }
+  const RowBuffer& src = set.rowData();
+  const std::size_t n = set.size();
+  RowBuffer data;
+  data.reserve(n * (n + 1) * a);
+  // x at sorted index i dominates exactly the prefix [0, i]; emitting the
+  // prefix per x yields (in, out)-sorted rows directly.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* x = &src[i * a];
+    for (std::size_t j = 0; j <= i; ++j) {
+      rows::append(data, x, a);
+      rows::append(data, &src[j * a], a);
+    }
+  }
+  m.adoptSorted(std::move(data));
+  return m;
+}
+
+IntMap IntMap::fromSortedRows(Space in, Space out, RowBuffer rowsData) {
+  IntMap m(std::move(in), std::move(out));
+  PIPOLY_CHECK_MSG(m.width() > 0 || rowsData.empty(),
+                   "fromSortedRows needs a non-zero width");
+  PIPOLY_CHECK(m.width() == 0 || rowsData.size() % m.width() == 0);
+  m.adoptSorted(std::move(rowsData));
+  return m;
+}
+
+IntMap IntMap::fromRows(Space in, Space out, RowBuffer rowsData) {
+  IntMap m(std::move(in), std::move(out));
+  PIPOLY_CHECK_MSG(m.width() > 0 || rowsData.empty(),
+                   "fromRows needs a non-zero width");
+  PIPOLY_CHECK(m.width() == 0 || rowsData.size() % m.width() == 0);
+  rows::sortUnique(rowsData, m.width());
+  m.adoptSorted(std::move(rowsData));
   return m;
 }
 
 bool IntMap::contains(const Tuple& in, const Tuple& out) const {
-  return std::binary_search(pairs_.begin(), pairs_.end(), Pair(in, out));
+  if (in.size() != inArity() || out.size() != outArity() || empty())
+    return false;
+  const std::size_t w = width();
+  if (w == 0)
+    return true; // non-empty arity-0 relation holds exactly () -> ()
+  RowBuffer key;
+  key.reserve(w);
+  rows::append(key, in.data(), in.size());
+  rows::append(key, out.data(), out.size());
+  const RowBuffer& data = *rows_;
+  const std::size_t i =
+      rows::lowerBound(data.data(), count_, w, 0, key.data(), w);
+  return i < count_ && rows::equal(&data[i * w], key.data(), w);
 }
 
 IntMap IntMap::inverse() const {
   IntMap m(out_, in_);
-  m.pairs_.reserve(pairs_.size());
-  for (const Pair& p : pairs_)
-    m.pairs_.emplace_back(p.second, p.first);
-  std::sort(m.pairs_.begin(), m.pairs_.end());
+  const std::size_t inA = inArity(), outA = outArity();
+  if (inA + outA == 0) {
+    m.count_ = count_;
+    return m;
+  }
+  if (empty())
+    return m;
+  const RowBuffer& src = *rows_;
+  RowBuffer data;
+  data.reserve(src.size());
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Value* row = &src[i * (inA + outA)];
+    rows::append(data, row + inA, outA);
+    rows::append(data, row, inA);
+  }
+  rows::sortUnique(data, inA + outA);
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 IntTupleSet IntMap::domain() const {
-  std::vector<Tuple> pts;
-  pts.reserve(pairs_.size());
-  for (const Pair& p : pairs_)
-    if (pts.empty() || pts.back() != p.first)
-      pts.push_back(p.first); // pairs_ sorted by first => pts sorted
-  return IntTupleSet(in_, std::move(pts));
+  const std::size_t inA = inArity(), w = width();
+  if (inA == 0)
+    return IntTupleSet(in_, std::vector<Tuple>(count_ > 0 ? 1 : 0));
+  // Rows are sorted by (in, out): distinct in-prefixes appear as sorted
+  // contiguous groups, so one dedup pass emits the domain in order.
+  RowBuffer data;
+  data.reserve(count_ * inA);
+  const Value* prev = nullptr;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Value* row = &(*rows_)[i * w];
+    if (prev == nullptr || !rows::equal(prev, row, inA)) {
+      rows::append(data, row, inA);
+      prev = row;
+    }
+  }
+  return IntTupleSet::fromSortedRows(in_, std::move(data));
 }
 
 IntTupleSet IntMap::range() const {
-  std::vector<Tuple> pts;
-  pts.reserve(pairs_.size());
-  for (const Pair& p : pairs_)
-    pts.push_back(p.second);
-  return IntTupleSet(out_, std::move(pts));
+  const std::size_t inA = inArity(), outA = outArity(), w = width();
+  if (outA == 0)
+    return IntTupleSet(out_, std::vector<Tuple>(count_ > 0 ? 1 : 0));
+  RowBuffer data;
+  data.reserve(count_ * outA);
+  for (std::size_t i = 0; i < count_; ++i)
+    rows::append(data, &(*rows_)[i * w + inA], outA);
+  return IntTupleSet::fromRows(out_, std::move(data));
 }
 
 IntMap IntMap::compose(const IntMap& inner) const {
   PIPOLY_CHECK_MSG(inner.out_ == in_,
                    "composition space mismatch: inner range " +
                        inner.out_.name() + " vs outer domain " + in_.name());
-  // Look up each inner image among this map's inputs. Blocking and
-  // access maps are usually monotone in their images, so consecutive
-  // lookups land at or after the previous hit: keep a hint iterator and
-  // only search the tail past it, falling back to a full search when the
-  // key order regresses. Monotone inners thus compose in O(m + n).
-  const auto firstLess = [](const Pair& p, const Tuple& key) {
-    return p.first < key;
-  };
-  std::vector<Pair> result;
-  result.reserve(inner.pairs_.size());
-  auto hint = pairs_.begin();
-  for (const Pair& ab : inner.pairs_) {
-    auto lo = (hint == pairs_.end() || !(hint->first < ab.second))
-                  ? std::lower_bound(pairs_.begin(), hint, ab.second, firstLess)
-                  : std::lower_bound(hint, pairs_.end(), ab.second, firstLess);
-    hint = lo;
-    for (auto it = lo; it != pairs_.end() && it->first == ab.second; ++it)
-      result.emplace_back(ab.first, it->second);
+  const std::size_t aA = inner.inArity(), bA = inner.outArity();
+  const std::size_t cA = outArity(), wIn = aA + bA, wOut = bA + cA;
+  if (aA + cA == 0) {
+    // Arity-0 result: non-empty iff some inner image is an outer input.
+    IntMap m(inner.in_, out_);
+    for (std::size_t i = 0; i < inner.count_ && m.count_ == 0; ++i) {
+      const Value* b = wIn == 0 ? nullptr : &(*inner.rows_)[i * wIn + aA];
+      if (empty())
+        break;
+      if (bA == 0) {
+        m.count_ = 1;
+        continue;
+      }
+      const std::size_t lo =
+          rows::lowerBound(rows_->data(), count_, wOut, 0, b, bA);
+      if (lo < count_ && rows::equal(&(*rows_)[lo * wOut], b, bA))
+        m.count_ = 1;
+    }
+    return m;
   }
-  return IntMap(inner.in_, out_, std::move(result));
+  if (wIn == 0) {
+    // inner is (at most) the single () -> () pair and bA == 0 matches
+    // every outer row: the result is this map's rows re-labelled.
+    IntMap m(inner.in_, out_);
+    if (inner.count_ > 0) {
+      m.rows_ = rows_;
+      m.count_ = count_;
+    }
+    return m;
+  }
+  // Look up each inner image among this map's inputs. Blocking and access
+  // maps are usually monotone in their images, so consecutive lookups land
+  // at or after the previous hit: keep a hint index and only search the
+  // tail past it, falling back to the head range when the key order
+  // regresses. Monotone inners thus compose in O(m + n).
+  RowBuffer data;
+  data.reserve(inner.count_ * (aA + cA));
+  const Value* outerBase = empty() ? nullptr : rows_->data();
+  std::size_t hint = 0;
+  for (std::size_t i = 0; i < inner.count_; ++i) {
+    const Value* abRow = &(*inner.rows_)[i * wIn];
+    const Value* b = abRow + aA;
+    std::size_t lo;
+    if (hint >= count_ || rows::compare(outerBase + hint * wOut, b, bA) >= 0)
+      lo = rows::lowerBound(outerBase, hint, wOut, 0, b, bA);
+    else
+      lo = rows::lowerBound(outerBase, count_, wOut, hint, b, bA);
+    hint = lo;
+    for (std::size_t j = lo;
+         j < count_ && rows::equal(outerBase + j * wOut, b, bA); ++j) {
+      rows::append(data, abRow, aA);
+      rows::append(data, outerBase + j * wOut + bA, cA);
+    }
+  }
+  // Single-valued monotone composition emits in order (the common case for
+  // blocking maps); fromRows detects that in one pass and skips the sort.
+  return fromRows(inner.in_, out_, std::move(data));
 }
 
 IntTupleSet IntMap::apply(const IntTupleSet& set) const {
   PIPOLY_CHECK(set.space() == in_);
-  std::vector<Tuple> out;
-  for (const Tuple& t : set.points())
-    for (const Tuple& img : imagesOf(t))
-      out.push_back(img);
-  return IntTupleSet(out_, std::move(out));
+  const std::size_t inA = inArity(), outA = outArity(), w = width();
+  if (set.empty() || empty())
+    return IntTupleSet(out_);
+  if (inA == 0) {
+    // The whole range is the image of the single empty input.
+    return range();
+  }
+  if (outA == 0) {
+    // Any pair whose input lies in `set` puts the empty tuple in the image.
+    for (std::size_t i = 0; i < count_; ++i)
+      if (set.contains(TupleView(&(*rows_)[i * w], inA)))
+        return IntTupleSet(out_, std::vector<Tuple>(1));
+    return IntTupleSet(out_);
+  }
+  RowBuffer data;
+  const RowBuffer& pts = set.rowData();
+  // Both sides are sorted by the input tuple: walk the map once, advancing
+  // a running lower bound per point.
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const Value* x = &pts[i * inA];
+    lo = rows::lowerBound(rows_->data(), count_, w, lo, x, inA);
+    for (std::size_t j = lo;
+         j < count_ && rows::equal(&(*rows_)[j * w], x, inA); ++j)
+      rows::append(data, &(*rows_)[j * w + inA], outA);
+  }
+  return IntTupleSet::fromRows(out_, std::move(data));
 }
 
 std::vector<Tuple> IntMap::imagesOf(const Tuple& in) const {
   std::vector<Tuple> out;
-  auto lo = std::lower_bound(
-      pairs_.begin(), pairs_.end(), in,
-      [](const Pair& p, const Tuple& key) { return p.first < key; });
-  for (auto it = lo; it != pairs_.end() && it->first == in; ++it)
-    out.push_back(it->second);
+  if (in.size() != inArity() || empty())
+    return out;
+  const std::size_t inA = inArity(), outA = outArity(), w = width();
+  if (w == 0) {
+    out.emplace_back();
+    return out;
+  }
+  const std::size_t lo =
+      rows::lowerBound(rows_->data(), count_, w, 0, in.data(), inA);
+  for (std::size_t j = lo;
+       j < count_ && rows::equal(&(*rows_)[j * w], in.data(), inA); ++j)
+    out.emplace_back(&(*rows_)[j * w + inA], outA);
   return out;
 }
 
@@ -150,108 +329,205 @@ std::optional<Tuple> IntMap::singleImageOf(const Tuple& in) const {
 }
 
 IntMap IntMap::lexmaxPerDomain() const {
+  // A single-valued map is its own per-domain extremum; share the buffer.
   if (isSingleValued())
     return *this;
-  IntMap m(in_, out_);
-  m.pairs_.reserve(pairs_.size());
-  for (const Pair& p : pairs_) {
-    if (!m.pairs_.empty() && m.pairs_.back().first == p.first)
-      m.pairs_.back().second = std::max(m.pairs_.back().second, p.second);
-    else
-      m.pairs_.push_back(p);
+  const std::size_t inA = inArity(), w = width();
+  // Rows are sorted by (in, out): the last row of each input group carries
+  // the lexicographically largest output.
+  RowBuffer data;
+  data.reserve(count_ * w);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Value* row = &(*rows_)[i * w];
+    if (i + 1 < count_ && rows::equal(row, &(*rows_)[(i + 1) * w], inA))
+      continue;
+    rows::append(data, row, w);
   }
+  IntMap m(in_, out_);
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 IntMap IntMap::lexminPerDomain() const {
-  // A single-valued map is its own per-domain extremum; skip the rebuild.
   if (isSingleValued())
     return *this;
-  IntMap m(in_, out_);
-  m.pairs_.reserve(pairs_.size());
-  for (const Pair& p : pairs_) {
-    // pairs_ is sorted by (in, out): the first pair of each input group
-    // already carries the lexicographically smallest output.
-    if (m.pairs_.empty() || m.pairs_.back().first != p.first)
-      m.pairs_.push_back(p);
+  const std::size_t inA = inArity(), w = width();
+  // The first row of each input group carries the smallest output.
+  RowBuffer data;
+  data.reserve(count_ * w);
+  const Value* prev = nullptr;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Value* row = &(*rows_)[i * w];
+    if (prev != nullptr && rows::equal(prev, row, inA))
+      continue;
+    rows::append(data, row, w);
+    prev = row;
   }
+  IntMap m(in_, out_);
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 IntMap IntMap::restrictDomain(const IntTupleSet& set) const {
   PIPOLY_CHECK(set.space() == in_);
+  const std::size_t inA = inArity(), w = width();
+  if (empty())
+    return *this;
+  if (inA == 0)
+    return set.empty() ? IntMap(in_, out_) : *this;
+  RowBuffer data;
+  data.reserve(rows_->size());
+  // Merge walk: both sides are sorted by the input tuple, so one running
+  // index over the set suffices. Keeping a subsequence preserves order.
+  const RowBuffer& pts = set.rowData();
+  const std::size_t n = set.size();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Value* row = &(*rows_)[i * w];
+    while (j < n && rows::compare(&pts[j * inA], row, inA) < 0)
+      ++j;
+    if (j < n && rows::equal(&pts[j * inA], row, inA))
+      rows::append(data, row, w);
+  }
+  if (data.size() == rows_->size())
+    return *this; // kept everything: share
   IntMap m(in_, out_);
-  std::copy_if(pairs_.begin(), pairs_.end(), std::back_inserter(m.pairs_),
-               [&](const Pair& p) { return set.contains(p.first); });
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 IntMap IntMap::restrictRange(const IntTupleSet& set) const {
   PIPOLY_CHECK(set.space() == out_);
+  const std::size_t inA = inArity(), outA = outArity(), w = width();
+  if (empty())
+    return *this;
+  if (outA == 0)
+    return set.empty() ? IntMap(in_, out_) : *this;
+  RowBuffer data;
+  data.reserve(rows_->size());
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Value* row = &(*rows_)[i * w];
+    if (set.contains(TupleView(row + inA, outA)))
+      rows::append(data, row, w);
+  }
+  if (data.size() == rows_->size())
+    return *this; // kept everything: share
   IntMap m(in_, out_);
-  std::copy_if(pairs_.begin(), pairs_.end(), std::back_inserter(m.pairs_),
-               [&](const Pair& p) { return set.contains(p.second); });
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 IntMap IntMap::unite(const IntMap& other) const {
-  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
-                   "union of maps across different spaces");
-  if (pairs_.empty())
+  requireSameSpaces(other, "union of maps across different spaces");
+  if (empty())
     return other;
-  if (other.pairs_.empty())
+  if (other.empty() || rows_ == other.rows_)
     return *this;
-  IntMap m(in_, out_);
-  m.pairs_.reserve(pairs_.size() + other.pairs_.size());
-  // Disjoint-range fast path: accumulating unions (producer relations,
-  // dependence sweeps) typically append strictly later pair ranges.
-  if (pairs_.back() < other.pairs_.front()) {
-    m.pairs_.insert(m.pairs_.end(), pairs_.begin(), pairs_.end());
-    m.pairs_.insert(m.pairs_.end(), other.pairs_.begin(), other.pairs_.end());
+  const std::size_t w = width();
+  if (w == 0) {
+    IntMap m(in_, out_);
+    m.count_ = 1;
     return m;
   }
-  std::set_union(pairs_.begin(), pairs_.end(), other.pairs_.begin(),
-                 other.pairs_.end(), std::back_inserter(m.pairs_));
+  const RowBuffer& a = *rows_;
+  const RowBuffer& b = *other.rows_;
+  IntMap m(in_, out_);
+  // Disjoint-range fast path: accumulating unions (producer relations,
+  // dependence sweeps) typically append strictly later pair ranges.
+  if (rows::less(&a[a.size() - w], b.data(), w)) {
+    RowBuffer data;
+    data.reserve(a.size() + b.size());
+    data.insert(data.end(), a.begin(), a.end());
+    data.insert(data.end(), b.begin(), b.end());
+    m.adoptSorted(std::move(data));
+    return m;
+  }
+  if (rows::less(&b[b.size() - w], a.data(), w)) {
+    RowBuffer data;
+    data.reserve(a.size() + b.size());
+    data.insert(data.end(), b.begin(), b.end());
+    data.insert(data.end(), a.begin(), a.end());
+    m.adoptSorted(std::move(data));
+    return m;
+  }
+  m.adoptSorted(rows::unionRows(a, b, w));
   return m;
 }
 
 IntMap IntMap::intersect(const IntMap& other) const {
-  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
-                   "intersection of maps across different spaces");
+  requireSameSpaces(other, "intersection of maps across different spaces");
+  if (rows_ == other.rows_ && count_ == other.count_)
+    return *this;
+  if (empty() || other.empty())
+    return IntMap(in_, out_);
+  const std::size_t w = width();
+  if (w == 0) {
+    IntMap m(in_, out_);
+    m.count_ = 1;
+    return m;
+  }
+  RowBuffer data = rows::intersectRows(*rows_, *other.rows_, w);
+  if (data.size() == rows_->size())
+    return *this; // everything survived: share
   IntMap m(in_, out_);
-  std::set_intersection(pairs_.begin(), pairs_.end(), other.pairs_.begin(),
-                        other.pairs_.end(), std::back_inserter(m.pairs_));
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 IntMap IntMap::subtract(const IntMap& other) const {
-  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
-                   "difference of maps across different spaces");
+  requireSameSpaces(other, "difference of maps across different spaces");
+  if (empty() || other.empty())
+    return *this;
+  if (rows_ == other.rows_ && count_ == other.count_)
+    return IntMap(in_, out_);
+  const std::size_t w = width();
+  if (w == 0)
+    return IntMap(in_, out_); // both non-empty: the one pair is removed
+  RowBuffer data = rows::differenceRows(*rows_, *other.rows_, w);
+  if (data.size() == rows_->size())
+    return *this; // nothing removed: share
   IntMap m(in_, out_);
-  std::set_difference(pairs_.begin(), pairs_.end(), other.pairs_.begin(),
-                      other.pairs_.end(), std::back_inserter(m.pairs_));
+  m.adoptSorted(std::move(data));
   return m;
 }
 
 bool IntMap::isSubsetOf(const IntMap& other) const {
-  PIPOLY_CHECK_MSG(in_ == other.in_ && out_ == other.out_,
-                   "subset test across different spaces");
-  return std::includes(other.pairs_.begin(), other.pairs_.end(),
-                       pairs_.begin(), pairs_.end());
+  requireSameSpaces(other, "subset test across different spaces");
+  if (empty() || (rows_ == other.rows_ && count_ == other.count_))
+    return true;
+  if (count_ > other.count_)
+    return false;
+  const std::size_t w = width();
+  if (w == 0)
+    return other.count_ > 0;
+  return rows::includesRows(*other.rows_, *rows_, w);
 }
 
 bool IntMap::isInjective() const {
-  std::vector<Tuple> outs;
-  outs.reserve(pairs_.size());
-  for (const Pair& p : pairs_)
-    outs.push_back(p.second);
-  std::sort(outs.begin(), outs.end());
-  return std::adjacent_find(outs.begin(), outs.end()) == outs.end();
+  const std::size_t inA = inArity(), outA = outArity(), w = width();
+  (void)inA;
+  if (count_ < 2)
+    return true;
+  if (outA == 0)
+    return false; // two or more inputs all map to the empty tuple
+  RowBuffer outs;
+  outs.reserve(count_ * outA);
+  for (std::size_t i = 0; i < count_; ++i)
+    rows::append(outs, &(*rows_)[i * w + inArity()], outA);
+  // Pairs are unique, so a duplicate output can only come from two
+  // distinct inputs sharing it.
+  rows::sortUnique(outs, outA);
+  return outs.size() == count_ * outA;
 }
 
 bool IntMap::isSingleValued() const {
-  for (std::size_t i = 1; i < pairs_.size(); ++i)
-    if (pairs_[i].first == pairs_[i - 1].first)
+  const std::size_t inA = inArity(), w = width();
+  if (count_ < 2)
+    return true;
+  if (inA == 0)
+    return false; // two or more outputs for the single empty input
+  for (std::size_t i = 1; i < count_; ++i)
+    if (rows::equal(&(*rows_)[(i - 1) * w], &(*rows_)[i * w], inA))
       return false;
   return true;
 }
@@ -259,21 +535,25 @@ bool IntMap::isSingleValued() const {
 IntTupleSet IntMap::deltas() const {
   PIPOLY_CHECK_MSG(in_.arity() == out_.arity(),
                    "deltas need equal-arity domain and range");
-  std::vector<Tuple> diffs;
-  diffs.reserve(pairs_.size());
-  for (const auto& [in, out] : pairs_) {
-    std::vector<Value> d(in.size());
-    for (std::size_t k = 0; k < in.size(); ++k)
-      d[k] = out[k] - in[k];
-    diffs.emplace_back(std::move(d));
+  const std::size_t a = inArity(), w = width();
+  const Space deltaSpace("delta", a);
+  if (a == 0)
+    return IntTupleSet(deltaSpace, std::vector<Tuple>(count_ > 0 ? 1 : 0));
+  RowBuffer data;
+  data.reserve(count_ * a);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Value* row = &(*rows_)[i * w];
+    for (std::size_t k = 0; k < a; ++k)
+      data.push_back(row[a + k] - row[k]);
   }
-  return IntTupleSet(Space("delta", in_.arity()), std::move(diffs));
+  return IntTupleSet::fromRows(deltaSpace, std::move(data));
 }
 
 IntMap IntMap::transitiveClosure() const {
   PIPOLY_CHECK_MSG(in_ == out_,
                    "transitive closure needs a relation on one space");
-  // DFS with memoisation; colours detect cycles.
+  // DFS with memoisation; colours detect cycles. Closure construction is
+  // inherently node-at-a-time, so this stays on owning Tuples.
   enum class Color { White, Grey, Black };
   std::map<Tuple, Color> color;
   std::map<Tuple, std::vector<Tuple>> reach; // x -> all transitively reached
@@ -300,9 +580,11 @@ IntMap IntMap::transitiveClosure() const {
 
   std::vector<Pair> result;
   const IntTupleSet dom = domain();
-  for (const Tuple& x : dom.points())
+  for (TupleView xv : dom.points()) {
+    const Tuple x(xv);
     for (const Tuple& y : visit(x))
       result.emplace_back(x, y);
+  }
   return IntMap(in_, out_, std::move(result));
 }
 

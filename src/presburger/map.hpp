@@ -5,12 +5,21 @@
 // the paper's Algorithm 1 uses: inverse, composition, domain/range,
 // per-domain lexmax/lexmin (the paper's lexmax(M)), lexleset, unions,
 // identity maps, and injectivity checks.
+//
+// Pairs are stored as one contiguous row-major RowBuffer — each row is
+// the domain tuple immediately followed by the range tuple (width =
+// domain arity + range arity), rows sorted lexicographically (which is
+// exactly the (in, out) pair order) and unique — behind a shared
+// immutable pointer. Copies and content-identical derivations (per-domain
+// extrema of single-valued maps, restrictions that keep every pair) share
+// the buffer. pairs() returns a PairRange of PairViews that keeps the
+// buffer alive independently of the map.
 
+#include "presburger/rows.hpp"
 #include "presburger/set.hpp"
 #include "presburger/space.hpp"
 #include "presburger/tuple.hpp"
 
-#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
@@ -30,9 +39,31 @@ public:
   /// { x -> x : x in set }
   static IntMap identity(const IntTupleSet& set);
 
-  /// { x -> f(x) : x in domain }, where f maps into `out`.
-  static IntMap fromFunction(const IntTupleSet& domain, Space out,
-                             const std::function<Tuple(const Tuple&)>& f);
+  /// { x -> f(x) : x in domain }, where f maps into `out`. The callable
+  /// is invoked with a `const Tuple&` and must return a Tuple of the
+  /// output arity.
+  template <typename Fn>
+  static IntMap fromFunction(const IntTupleSet& domain, Space out, Fn&& f) {
+    IntMap m(domain.space(), std::move(out));
+    const std::size_t inA = m.in_.arity(), outA = m.out_.arity();
+    if (inA + outA == 0) {
+      m.count_ = domain.size();
+      return m;
+    }
+    RowBuffer data;
+    data.reserve(domain.size() * (inA + outA));
+    for (TupleView t : domain.points()) {
+      const Tuple in(t);
+      const Tuple img = f(in);
+      PIPOLY_CHECK_MSG(img.size() == outA,
+                       "map pair range arity mismatch in " + m.out_.name());
+      rows::append(data, in.data(), inA);
+      rows::append(data, img.data(), outA);
+    }
+    // Domain points are strictly increasing, so the rows already are.
+    m.adoptSorted(std::move(data));
+    return m;
+  }
 
   /// The paper's lexleset(I, B): { i -> b : i in I, b in B, i lexle b }.
   /// Both sets must share a space.
@@ -42,11 +73,31 @@ public:
   /// applied to Dom(P).
   static IntMap lexGeContains(const IntTupleSet& set);
 
+  /// Wraps a flat row-major pair buffer (width = in.arity() + out.arity())
+  /// that is already sorted and unique (debug-asserted). The cheap
+  /// construction path for producers that emit pairs in order. Requires a
+  /// non-zero total width unless `rows` is empty.
+  static IntMap fromSortedRows(Space in, Space out, RowBuffer rows);
+
+  /// Wraps a flat row-major pair buffer, sorting and deduplicating when
+  /// needed (one linear sortedness check first).
+  static IntMap fromRows(Space in, Space out, RowBuffer rows);
+
   const Space& domainSpace() const { return in_; }
   const Space& rangeSpace() const { return out_; }
-  std::size_t size() const { return pairs_.size(); }
-  bool empty() const { return pairs_.empty(); }
-  const std::vector<Pair>& pairs() const { return pairs_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// The pairs as a row-view range (random access, yields PairView).
+  PairRange pairs() const {
+    return PairRange(rows_, count_, in_.arity(), out_.arity());
+  }
+
+  /// The raw sorted row-major storage (size() * width() values, each row
+  /// the domain tuple followed by the range tuple).
+  const RowBuffer& rowData() const {
+    return rows_ ? *rows_ : IntTupleSet::emptyRowBuffer();
+  }
 
   bool contains(const Tuple& in, const Tuple& out) const;
 
@@ -96,14 +147,23 @@ public:
   IntMap transitiveClosure() const;
 
   friend bool operator==(const IntMap& a, const IntMap& b) {
-    return a.in_ == b.in_ && a.out_ == b.out_ && a.pairs_ == b.pairs_;
+    return a.in_ == b.in_ && a.out_ == b.out_ && a.count_ == b.count_ &&
+           a.rowData() == b.rowData();
   }
 
   std::string toString() const;
 
 private:
+  std::size_t inArity() const { return in_.arity(); }
+  std::size_t outArity() const { return out_.arity(); }
+  std::size_t width() const { return in_.arity() + out_.arity(); }
+  /// Publishes a sorted-unique buffer as this map's storage.
+  void adoptSorted(RowBuffer&& data);
+  void requireSameSpaces(const IntMap& other, const char* what) const;
+
   Space in_, out_;
-  std::vector<Pair> pairs_; // sorted by (in, out), unique
+  RowsPtr rows_;          // row-major (in ++ out), sorted by (in, out)
+  std::size_t count_ = 0; // number of pairs (explicit: width may be 0)
 };
 
 std::ostream& operator<<(std::ostream& os, const IntMap& m);

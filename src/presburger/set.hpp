@@ -4,13 +4,22 @@
 // in a named space. This is the instantiated counterpart of an isl_set:
 // once the parameters of a SCoP are fixed, every set the paper manipulates
 // is finite and is represented here exactly.
+//
+// Points are stored as one contiguous row-major RowBuffer (arity values
+// per row, rows sorted lexicographically and unique) behind a shared
+// immutable pointer: copying a set, or deriving a content-identical set
+// (unite with the empty set, a filter or subtract that keeps everything),
+// shares the buffer instead of deep-copying. points() returns a
+// TupleRange — a lightweight random-access range of TupleViews that keeps
+// the buffer alive independently of the set.
 
 #include "presburger/polyhedron.hpp"
+#include "presburger/rows.hpp"
 #include "presburger/space.hpp"
 #include "presburger/tuple.hpp"
 
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pipoly::pb {
@@ -28,23 +37,67 @@ public:
   /// The rectangular set [0,ext0) x [0,ext1) x ...
   static IntTupleSet rectangle(Space space, const std::vector<Value>& extents);
 
-  const Space& space() const { return space_; }
-  std::size_t size() const { return points_.size(); }
-  bool empty() const { return points_.empty(); }
-  const std::vector<Tuple>& points() const { return points_; }
+  /// Wraps a flat row-major buffer that is already sorted and unique
+  /// (debug-asserted). The cheap construction path for producers that
+  /// emit points in order. Requires a non-zero arity unless `rows` is
+  /// empty.
+  static IntTupleSet fromSortedRows(Space space, RowBuffer rows);
 
-  bool contains(const Tuple& t) const;
+  /// Wraps a flat row-major buffer, sorting and deduplicating when needed
+  /// (one linear sortedness check first, so in-order input costs no sort).
+  static IntTupleSet fromRows(Space space, RowBuffer rows);
+
+  const Space& space() const { return space_; }
+  std::size_t arity() const { return space_.arity(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// The points as a row-view range (random access, yields TupleView).
+  TupleRange points() const { return TupleRange(rows_, count_, arity()); }
+
+  /// The raw sorted row-major storage (count() * arity() values).
+  const RowBuffer& rowData() const {
+    return rows_ ? *rows_ : emptyRowBuffer();
+  }
+
+  bool contains(TupleView t) const;
+  bool contains(const Tuple& t) const { return contains(TupleView(t)); }
 
   IntTupleSet unite(const IntTupleSet& other) const;
   IntTupleSet intersect(const IntTupleSet& other) const;
   IntTupleSet subtract(const IntTupleSet& other) const;
-  IntTupleSet filter(const std::function<bool(const Tuple&)>& keep) const;
+
+  /// Keeps the points satisfying `keep`. The callable is invoked with a
+  /// `const Tuple&` (materialised inline — no allocation for arity <= 4).
+  template <typename Pred> IntTupleSet filter(Pred&& keep) const {
+    const std::size_t w = arity();
+    IntTupleSet out(space_);
+    if (w == 0) {
+      if (count_ > 0 && keep(Tuple()))
+        out.count_ = 1;
+      return out;
+    }
+    if (empty())
+      return out;
+    const RowBuffer& src = *rows_;
+    RowBuffer data;
+    data.reserve(src.size());
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Tuple t(&src[i * w], w);
+      if (keep(t))
+        rows::append(data, t.data(), w);
+    }
+    if (data.size() == src.size())
+      return *this; // kept everything: share the buffer
+    out.adoptSorted(std::move(data));
+    return out;
+  }
 
   bool isSubsetOf(const IntTupleSet& other) const;
 
   /// Lexicographic extrema; the set must be non-empty.
-  const Tuple& lexmin() const;
-  const Tuple& lexmax() const;
+  Tuple lexmin() const;
+  Tuple lexmax() const;
 
   /// Per-dimension bounds of the smallest enclosing box; the set must be
   /// non-empty.
@@ -56,16 +109,23 @@ public:
   Value strideOfDim(std::size_t dim) const;
 
   friend bool operator==(const IntTupleSet& a, const IntTupleSet& b) {
-    return a.space_ == b.space_ && a.points_ == b.points_;
+    return a.space_ == b.space_ && a.count_ == b.count_ &&
+           a.rowData() == b.rowData();
   }
 
   std::string toString() const;
 
 private:
+  friend class IntMap;
+
+  static const RowBuffer& emptyRowBuffer();
   void requireSameSpace(const IntTupleSet& other) const;
+  /// Publishes a sorted-unique buffer as this set's storage.
+  void adoptSorted(RowBuffer&& data);
 
   Space space_;
-  std::vector<Tuple> points_; // sorted lexicographically, unique
+  RowsPtr rows_;          // row-major, sorted lexicographically, unique
+  std::size_t count_ = 0; // number of points (explicit: arity may be 0)
 };
 
 std::ostream& operator<<(std::ostream& os, const IntTupleSet& s);

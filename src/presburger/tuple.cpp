@@ -4,13 +4,15 @@
 
 namespace pipoly::pb {
 
-std::string Tuple::toString() const {
+namespace {
+
+template <typename T> std::string renderTuple(const T& t) {
   std::ostringstream os;
-  os << *this;
+  os << t;
   return os.str();
 }
 
-std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+template <typename T> std::ostream& printTuple(std::ostream& os, const T& t) {
   os << '[';
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (i)
@@ -18,6 +20,19 @@ std::ostream& operator<<(std::ostream& os, const Tuple& t) {
     os << t[i];
   }
   return os << ']';
+}
+
+} // namespace
+
+std::string Tuple::toString() const { return renderTuple(*this); }
+std::string TupleView::toString() const { return renderTuple(*this); }
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return printTuple(os, t);
+}
+
+std::ostream& operator<<(std::ostream& os, const TupleView& t) {
+  return printTuple(os, t);
 }
 
 } // namespace pipoly::pb

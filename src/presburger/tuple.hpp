@@ -3,11 +3,23 @@
 // Integer tuples: the points of the explicit integer sets and maps.
 // Tuples compare lexicographically, which is the order every algorithm in
 // the paper (lexmin / lexmax / lexleset) is defined over.
+//
+// Tuple owns its coordinates with a small-buffer representation: arities
+// up to kInlineCapacity (4, which covers every kernel in the paper — the
+// deepest nests are depth 2 and map pairs concatenate to 4) live inline
+// with no heap allocation; larger arities spill to the heap. TupleView is
+// the non-owning counterpart: a (pointer, size) window into a flat
+// row-major point buffer, used by IntTupleSet / IntMap to iterate points
+// without materialising Tuples. A TupleView converts implicitly to Tuple
+// (a cheap inline copy for arity <= 4), so call sites that bind
+// `const Tuple&` keep working.
 
 #include "support/assert.hpp"
 
+#include <algorithm>
 #include <compare>
 #include <cstdint>
+#include <cstddef>
 #include <initializer_list>
 #include <ostream>
 #include <string>
@@ -17,65 +29,212 @@ namespace pipoly::pb {
 
 using Value = std::int64_t;
 
+class TupleView;
+
 /// A point in Z^n. Comparison is lexicographic.
 class Tuple {
 public:
-  Tuple() = default;
-  Tuple(std::initializer_list<Value> values) : values_(values) {}
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  /// Arities up to this bound are stored inline (no allocation).
+  static constexpr std::size_t kInlineCapacity = 4;
+
+  Tuple() noexcept : size_(0) {}
+  Tuple(std::initializer_list<Value> values)
+      : Tuple(values.begin(), values.size()) {}
+  explicit Tuple(const std::vector<Value>& values)
+      : Tuple(values.data(), values.size()) {}
+  Tuple(const Value* data, std::size_t size) : size_(size) {
+    Value* dst = allocate();
+    std::copy_n(data, size, dst);
+  }
   /// The zero tuple of a given arity.
   static Tuple zeros(std::size_t arity) {
-    return Tuple(std::vector<Value>(arity, 0));
+    Tuple t;
+    t.size_ = arity;
+    Value* dst = t.allocate();
+    std::fill_n(dst, arity, Value{0});
+    return t;
   }
 
-  std::size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  inline Tuple(const TupleView& view); // implicit: materialise a view
+
+  Tuple(const Tuple& other) : Tuple(other.data(), other.size_) {}
+  Tuple(Tuple&& other) noexcept : size_(other.size_) {
+    if (isInline()) {
+      std::copy_n(other.storage_.inlineVals, size_, storage_.inlineVals);
+    } else {
+      storage_.heap = other.storage_.heap;
+      other.size_ = 0;
+    }
+  }
+  Tuple& operator=(const Tuple& other) {
+    if (this != &other)
+      assign(other.data(), other.size_);
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this == &other)
+      return *this;
+    release();
+    size_ = other.size_;
+    if (isInline()) {
+      std::copy_n(other.storage_.inlineVals, size_, storage_.inlineVals);
+    } else {
+      storage_.heap = other.storage_.heap;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~Tuple() { release(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   Value operator[](std::size_t i) const {
-    PIPOLY_ASSERT(i < values_.size());
-    return values_[i];
+    PIPOLY_ASSERT(i < size_);
+    return data()[i];
   }
   Value& operator[](std::size_t i) {
-    PIPOLY_ASSERT(i < values_.size());
-    return values_[i];
+    PIPOLY_ASSERT(i < size_);
+    return data()[i];
   }
 
-  const std::vector<Value>& values() const { return values_; }
+  const Value* data() const {
+    return isInline() ? storage_.inlineVals : storage_.heap;
+  }
+  Value* data() { return isInline() ? storage_.inlineVals : storage_.heap; }
 
-  auto begin() const { return values_.begin(); }
-  auto end() const { return values_.end(); }
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
 
   friend auto operator<=>(const Tuple& a, const Tuple& b) {
-    return std::lexicographical_compare_three_way(
-        a.values_.begin(), a.values_.end(), b.values_.begin(),
-        b.values_.end());
+    return std::lexicographical_compare_three_way(a.begin(), a.end(),
+                                                  b.begin(), b.end());
   }
   friend bool operator==(const Tuple& a, const Tuple& b) {
-    return a.values_ == b.values_;
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
   }
 
   /// Concatenation, used to couple map pairs into single points.
   friend Tuple concat(const Tuple& a, const Tuple& b) {
-    std::vector<Value> v;
-    v.reserve(a.size() + b.size());
-    v.insert(v.end(), a.values_.begin(), a.values_.end());
-    v.insert(v.end(), b.values_.begin(), b.values_.end());
-    return Tuple(std::move(v));
+    Tuple t;
+    t.size_ = a.size_ + b.size_;
+    Value* dst = t.allocate();
+    std::copy_n(a.data(), a.size_, dst);
+    std::copy_n(b.data(), b.size_, dst + a.size_);
+    return t;
   }
 
   /// Sub-tuple [begin, end).
   Tuple slice(std::size_t begin, std::size_t end) const {
-    PIPOLY_ASSERT(begin <= end && end <= values_.size());
-    return Tuple(std::vector<Value>(values_.begin() + static_cast<long>(begin),
-                                    values_.begin() + static_cast<long>(end)));
+    PIPOLY_ASSERT(begin <= end && end <= size_);
+    return Tuple(data() + begin, end - begin);
   }
 
   std::string toString() const;
 
 private:
-  std::vector<Value> values_;
+  bool isInline() const { return size_ <= kInlineCapacity; }
+  /// Prepares storage for the current size_ and returns the write pointer.
+  Value* allocate() {
+    if (isInline())
+      return storage_.inlineVals;
+    storage_.heap = new Value[size_];
+    return storage_.heap;
+  }
+  void release() {
+    if (!isInline())
+      delete[] storage_.heap;
+  }
+  void assign(const Value* data, std::size_t size) {
+    if (size == size_ || (size <= kInlineCapacity && isInline())) {
+      size_ = size;
+      std::copy_n(data, size, this->data());
+      return;
+    }
+    release();
+    size_ = size;
+    Value* dst = allocate();
+    std::copy_n(data, size, dst);
+  }
+
+  std::size_t size_;
+  union {
+    Value inlineVals[kInlineCapacity];
+    Value* heap;
+  } storage_{}; // value-init: a never-filled tuple still has defined bytes
+};
+
+/// A non-owning view of one point: a (pointer, size) window into a flat
+/// row-major buffer. The underlying storage must outlive the view (the
+/// row ranges returned by IntTupleSet::points() / IntMap::pairs() keep
+/// their buffer alive, so views obtained from them are safe for the
+/// lifetime of the range).
+class TupleView {
+public:
+  TupleView() = default;
+  TupleView(const Value* data, std::size_t size) : data_(data), size_(size) {}
+  explicit TupleView(const Tuple& t) : data_(t.data()), size_(t.size()) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Value operator[](std::size_t i) const {
+    PIPOLY_ASSERT(i < size_);
+    return data_[i];
+  }
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+
+  friend auto operator<=>(const TupleView& a, const TupleView& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+  }
+  friend bool operator==(const TupleView& a, const TupleView& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  // Mixed comparisons (the reversed directions are synthesised).
+  friend auto operator<=>(const TupleView& a, const Tuple& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+  }
+  friend bool operator==(const TupleView& a, const Tuple& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  std::string toString() const;
+
+private:
+  const Value* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+inline Tuple::Tuple(const TupleView& view) : Tuple(view.data(), view.size()) {}
+
+/// A non-owning view of one map pair: domain and range windows into a
+/// flat row (the range window directly follows the domain window).
+/// Converts implicitly to the owning std::pair<Tuple, Tuple>.
+struct PairView {
+  TupleView first;
+  TupleView second;
+
+  operator std::pair<Tuple, Tuple>() const {
+    return {Tuple(first), Tuple(second)};
+  }
+
+  friend auto operator<=>(const PairView& a, const PairView& b) {
+    if (auto c = a.first <=> b.first; c != 0)
+      return c;
+    return a.second <=> b.second;
+  }
+  friend bool operator==(const PairView& a, const PairView& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+  friend bool operator==(const PairView& a, const std::pair<Tuple, Tuple>& b) {
+    return a.first == b.first && a.second == b.second;
+  }
 };
 
 std::ostream& operator<<(std::ostream& os, const Tuple& t);
+std::ostream& operator<<(std::ostream& os, const TupleView& t);
 
 } // namespace pipoly::pb

@@ -22,24 +22,31 @@ pb::IntMap Scop::accessRelation(std::size_t stmtIdx,
   if (access.numAuxDims() == 0)
     auxPoints.push_back(pb::Tuple{});
   else
-    auxPoints = pb::IntTupleSet::rectangle(
-                    pb::Space("aux", access.numAuxDims()), access.auxExtents)
-                    .points();
+    for (pb::TupleView aux : pb::IntTupleSet::rectangle(
+                                 pb::Space("aux", access.numAuxDims()),
+                                 access.auxExtents)
+                                 .points())
+      auxPoints.emplace_back(aux);
 
-  std::vector<pb::IntMap::Pair> pairs;
-  pairs.reserve(stmt.domain().size() * auxPoints.size());
-  for (const pb::Tuple& it : stmt.domain().points()) {
+  const std::size_t depth = stmt.depth(), rank = arr.rank();
+  pb::RowBuffer rows;
+  rows.reserve(stmt.domain().size() * auxPoints.size() * (depth + rank));
+  for (pb::TupleView itv : stmt.domain().points()) {
+    const pb::Tuple it(itv);
     for (const pb::Tuple& aux : auxPoints) {
       pb::Tuple subs = access.subscripts.evaluate(concat(it, aux));
-      for (std::size_t d = 0; d < arr.rank(); ++d)
+      for (std::size_t d = 0; d < rank; ++d)
         PIPOLY_CHECK_MSG(subs[d] >= 0 && subs[d] < arr.shape[d],
                          "access out of bounds: " + stmt.name() +
                              it.toString() + " -> " + arr.name +
                              subs.toString());
-      pairs.emplace_back(it, std::move(subs));
+      pb::rows::append(rows, it.data(), depth);
+      pb::rows::append(rows, subs.data(), rank);
     }
   }
-  return pb::IntMap(stmt.space(), arr.space(), std::move(pairs));
+  // Domain iteration is in order; with a single aux point the rows come
+  // out sorted and fromRows skips the sort after one linear check.
+  return pb::IntMap::fromRows(stmt.space(), arr.space(), std::move(rows));
 }
 
 namespace {
