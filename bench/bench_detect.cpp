@@ -8,8 +8,15 @@
 // Algorithm-1 work, grows with the statement count.
 //
 // Usage:
-//   bench_detect [--smoke] [--suite] [--detect-cache] [--json=FILE]
-//                [--trace=FILE] [threads...]   (default threads: 2 4 8)
+//   bench_detect [--smoke] [--suite] [--parametric] [--detect-cache]
+//                [--json=FILE] [--trace=FILE] [threads...]
+//                                              (default threads: 2 4 8)
+//
+// --parametric times the N-independent route (detectParametric +
+// closed-form summaries) on the regular suite programs at N up to 10^6
+// and gates on correctness vs the explicit route, flatness across N, and
+// an absolute time budget at N=10^5 — the CI hook for the
+// parametric-first headline.
 //
 // --trace=FILE traces the run (detection phase spans, per-unit spans)
 // and writes Chrome Trace Event JSON for chrome://tracing / Perfetto.
@@ -27,6 +34,7 @@
 
 #include "pipeline/detect.hpp"
 #include "pipeline/detect_cache.hpp"
+#include "pipeline/param_detect.hpp"
 
 #include "bench_common.hpp"
 #include "kernels/suite.hpp"
@@ -35,6 +43,7 @@
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -99,9 +108,12 @@ bool infoEquals(const pipeline::PipelineInfo& a,
 }
 
 double timeDetect(const scop::Scop& scop, unsigned threads, int reps,
-                  pipeline::PipelineInfo* out = nullptr) {
+                  pipeline::PipelineInfo* out = nullptr,
+                  pipeline::DetectOptions::ParametricMode mode =
+                      pipeline::DetectOptions::ParametricMode::Auto) {
   pipeline::DetectOptions opt;
   opt.numThreads = threads;
+  opt.parametricMode = mode;
   double best = 0;
   for (int r = 0; r < reps; ++r) {
     Stopwatch sw;
@@ -180,18 +192,37 @@ int runSuite(bool useCache, const std::string& jsonPath) {
   for (const kernels::ProgramSpec& spec : kernels::table9Programs())
     scops.push_back(kernels::buildProgram(spec, kN));
 
-  pipoly::bench::Table table({"program", "serial_ms", "maps", "blocks"});
-  std::vector<double> perProgram;
+  pipoly::bench::Table table(
+      {"program", "serial_ms", "parametric_ms", "maps", "blocks"});
+  std::vector<double> perProgram, perParametric;
   std::vector<std::size_t> blocks;
-  double totalSerial = 0;
+  double totalSerial = 0, totalParametric = 0;
   const auto& specs = kernels::table9Programs();
   for (std::size_t p = 0; p < scops.size(); ++p) {
+    // serial_ms is the legacy route (ParametricMode::Off, the E17
+    // reference); parametric_ms is the default Auto route on the same
+    // scop — the closed forms plus per-pair fallback.
     pipeline::PipelineInfo info;
-    const double sec = timeDetect(scops[p], 0, kReps, &info);
+    const double sec =
+        timeDetect(scops[p], 0, kReps, &info,
+                   pipeline::DetectOptions::ParametricMode::Off);
+    pipeline::PipelineInfo autoInfo;
+    const double autoSec =
+        timeDetect(scops[p], 0, kReps, &autoInfo,
+                   pipeline::DetectOptions::ParametricMode::Auto);
+    if (!infoEquals(info, autoInfo)) {
+      std::printf("bench_detect --suite: FAIL — parametric PipelineInfo "
+                  "differs from legacy on %s\n",
+                  specs[p].name.c_str());
+      return 1;
+    }
     perProgram.push_back(sec);
+    perParametric.push_back(autoSec);
     blocks.push_back(info.totalBlocks());
     totalSerial += sec;
+    totalParametric += autoSec;
     table.addRow({specs[p].name, pipoly::bench::fmt(sec * 1e3, 3),
+                  pipoly::bench::fmt(autoSec * 1e3, 3),
                   std::to_string(info.maps.size()),
                   std::to_string(info.totalBlocks())});
   }
@@ -199,7 +230,8 @@ int runSuite(bool useCache, const std::string& jsonPath) {
               "(best-of-%d per program)\n",
               static_cast<long long>(kN), kReps);
   table.print();
-  std::printf("total serial: %.3f ms\n", totalSerial * 1e3);
+  std::printf("total serial: %.3f ms, parametric: %.3f ms\n",
+              totalSerial * 1e3, totalParametric * 1e3);
 
   double coldTotal = 0, warmTotal = 0;
   if (useCache) {
@@ -237,9 +269,11 @@ int runSuite(bool useCache, const std::string& jsonPath) {
     for (std::size_t p = 0; p < perProgram.size(); ++p)
       out << "    {\"name\": \"" << specs[p].name
           << "\", \"serial_ms\": " << perProgram[p] * 1e3
+          << ", \"parametric_ms\": " << perParametric[p] * 1e3
           << ", \"blocks\": " << blocks[p] << "}"
           << (p + 1 < perProgram.size() ? ",\n" : "\n");
-    out << "  ],\n  \"total_serial_ms\": " << totalSerial * 1e3;
+    out << "  ],\n  \"total_serial_ms\": " << totalSerial * 1e3
+        << ",\n  \"total_parametric_ms\": " << totalParametric * 1e3;
     if (useCache)
       out << ",\n  \"cache\": {\"cold_ms\": " << coldTotal * 1e3
           << ", \"warm_ms\": " << warmTotal * 1e3
@@ -247,6 +281,137 @@ int runSuite(bool useCache, const std::string& jsonPath) {
     out << "\n}\n";
     std::printf("bench_detect: wrote '%s'\n", jsonPath.c_str());
   }
+  return 0;
+}
+
+/// The headline of the parametric-first route: detection cost stops
+/// growing with N. detectParametric() analyses each fully regular suite
+/// program once; summarize() then answers the Table-9 questions (block
+/// counts, live pipeline maps) for any binding in closed form. This mode
+/// times that per-binding cost at N from 10^2 to 10^6 — domains of up to
+/// 10^12 points, far past what the explicit route can even materialise —
+/// and gates on
+///   * correctness: totalBlocks / pipelineMaps cross-checked against the
+///     explicit detectPipeline at N=100,
+///   * flatness: max over N within 20% of min (plus a 100us absolute
+///     timer-noise allowance),
+///   * budget: a single summarize at N=10^5 stays under 50 ms.
+int runParametric(const std::string& jsonPath) {
+  const pb::Value kSizes[] = {100, 10000, 100000, 1000000};
+  constexpr int kBatch = 200; // summaries per timing batch
+  constexpr int kBatches = 5; // best-of
+  constexpr double kBudgetSec = 0.050;
+  constexpr double kFlatSlackSec = 100e-6;
+
+  struct Row {
+    std::string name;
+    double perSummarizeSec[4];
+  };
+  std::vector<Row> rows;
+  bool ok = true;
+
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    const kernels::ParamProgram param = kernels::buildParamProgram(spec);
+    const pipeline::ParamDetection det =
+        pipeline::detectParametric(param.scop);
+    if (!det.fullyRegular())
+      continue; // P4/P6/P10 carry coupled reads; the route refuses them
+
+    // Correctness gate at N=100 against the explicit route.
+    {
+      const pb::Value n = kSizes[0];
+      const pipeline::ParamSummary summary =
+          det.summarize(param.bindingsFor(n));
+      const pipeline::PipelineInfo info =
+          pipeline::detectPipeline(kernels::buildProgram(spec, n));
+      if (summary.totalBlocks !=
+              static_cast<pb::Value>(info.totalBlocks()) ||
+          summary.pipelineMaps != info.maps.size()) {
+        std::printf("bench_detect --parametric: FAIL — %s summary disagrees "
+                    "with explicit detection at N=%lld\n",
+                    spec.name.c_str(), static_cast<long long>(n));
+        ok = false;
+      }
+    }
+
+    Row row{spec.name, {}};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const pb::ParamBindings bindings = param.bindingsFor(kSizes[i]);
+      double best = 0;
+      pb::Value sink = 0;
+      for (int b = 0; b < kBatches; ++b) {
+        Stopwatch sw;
+        for (int r = 0; r < kBatch; ++r)
+          sink += det.summarize(bindings).totalBlocks;
+        const double t = sw.seconds() / kBatch;
+        if (b == 0 || t < best)
+          best = t;
+      }
+      if (sink == 0) {
+        std::printf("bench_detect --parametric: FAIL — %s produced zero "
+                    "blocks\n",
+                    spec.name.c_str());
+        ok = false;
+      }
+      row.perSummarizeSec[i] = best;
+    }
+
+    double lo = row.perSummarizeSec[0], hi = row.perSummarizeSec[0];
+    for (double t : row.perSummarizeSec) {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    if (hi > lo * 1.2 + kFlatSlackSec) {
+      std::printf("bench_detect --parametric: FAIL — %s summarize not flat "
+                  "across N (min %.1f us, max %.1f us)\n",
+                  spec.name.c_str(), lo * 1e6, hi * 1e6);
+      ok = false;
+    }
+    if (row.perSummarizeSec[2] > kBudgetSec) {
+      std::printf("bench_detect --parametric: FAIL — %s summarize at N=1e5 "
+                  "took %.3f ms (budget %.0f ms)\n",
+                  spec.name.c_str(), row.perSummarizeSec[2] * 1e3,
+                  kBudgetSec * 1e3);
+      ok = false;
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("bench_detect --parametric: per-binding summarize cost "
+              "(best-of-%d batches of %d), regular suite programs\n",
+              kBatches, kBatch);
+  pipoly::bench::Table table(
+      {"program", "N=1e2_us", "N=1e4_us", "N=1e5_us", "N=1e6_us"});
+  for (const Row& r : rows)
+    table.addRow({r.name, pipoly::bench::fmt(r.perSummarizeSec[0] * 1e6, 2),
+                  pipoly::bench::fmt(r.perSummarizeSec[1] * 1e6, 2),
+                  pipoly::bench::fmt(r.perSummarizeSec[2] * 1e6, 2),
+                  pipoly::bench::fmt(r.perSummarizeSec[3] * 1e6, 2)});
+  table.print();
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out.good()) {
+      std::printf("bench_detect: cannot write '%s'\n", jsonPath.c_str());
+      return 1;
+    }
+    out << "{\n  \"mode\": \"parametric\",\n  \"sizes\": [100, 10000, "
+           "100000, 1000000],\n  \"programs\": [\n";
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      out << "    {\"name\": \"" << rows[p].name << "\", \"summarize_us\": [";
+      for (std::size_t i = 0; i < 4; ++i)
+        out << rows[p].perSummarizeSec[i] * 1e6 << (i < 3 ? ", " : "]}");
+      out << (p + 1 < rows.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::printf("bench_detect: wrote '%s'\n", jsonPath.c_str());
+  }
+
+  if (!ok)
+    return 1;
+  std::printf("bench_detect --parametric: OK — %zu regular programs, "
+              "summaries flat across N=1e2..1e6\n",
+              rows.size());
   return 0;
 }
 
@@ -274,12 +439,14 @@ int dumpTrace(trace::Session& session, const std::string& path) {
 int main(int argc, char** argv) {
   std::vector<unsigned> threadCounts;
   std::string tracePath, jsonPath;
-  bool smoke = false, suite = false, useCache = false;
+  bool smoke = false, suite = false, parametric = false, useCache = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[a], "--suite") == 0)
       suite = true;
+    else if (std::strcmp(argv[a], "--parametric") == 0)
+      parametric = true;
     else if (std::strcmp(argv[a], "--detect-cache") == 0)
       useCache = true;
     else if (std::strncmp(argv[a], "--trace=", 8) == 0)
@@ -303,6 +470,11 @@ int main(int argc, char** argv) {
   }
   if (suite) {
     const int rc = runSuite(useCache, jsonPath);
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
+  }
+  if (parametric) {
+    const int rc = runParametric(jsonPath);
     const int traceRc = dumpTrace(session, tracePath);
     return rc != 0 ? rc : traceRc;
   }

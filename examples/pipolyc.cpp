@@ -32,6 +32,11 @@
 //     --detect-cache  route detection through the process DetectCache
 //                   (a second lookup verifies the memoized result is
 //                   bit-identical) and report hit/miss stats on stderr
+//     --parametric=off|auto|force  select the detection route: off is the
+//                   bit-identical legacy path, auto (the default) takes the
+//                   closed-form parametric route with per-pair fallback,
+//                   force errors out on any pair the parametric route
+//                   cannot handle; route counters print on stderr
 //
 // Example:
 //   ./build/examples/pipolyc --maps --ast --simulate 8
@@ -84,7 +89,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: pipolyc [--maps] [--tree] [--ast] [--tasks] [--dot] "
                "[--optimize] [--emit-c] [--simulate N] [--timeline N] "
-               "[--trace=FILE] [--metrics] [--detect-cache] [file]\n");
+               "[--trace=FILE] [--metrics] [--detect-cache] "
+               "[--parametric=off|auto|force] [file]\n");
   return 2;
 }
 
@@ -95,6 +101,8 @@ int main(int argc, char** argv) {
        tasks = false, dot = false, json = false, report = false,
        emitC = false, verifyRun = false, optimizeRun = false;
   bool metricsOut = false, detectCache = false;
+  pipeline::DetectOptions detectOptions;
+  bool routeStats = false;
   unsigned simulateWorkers = 0, timelineWorkers = 0, tuneWorkers = 0;
   std::string path, tracePath;
   frontend::ParamOverrides params;
@@ -127,6 +135,21 @@ int main(int argc, char** argv) {
       metricsOut = true;
     else if (arg == "--detect-cache")
       detectCache = true;
+    else if (arg.rfind("--parametric=", 0) == 0) {
+      const std::string mode = arg.substr(13);
+      if (mode == "off")
+        detectOptions.parametricMode =
+            pipeline::DetectOptions::ParametricMode::Off;
+      else if (mode == "auto")
+        detectOptions.parametricMode =
+            pipeline::DetectOptions::ParametricMode::Auto;
+      else if (mode == "force")
+        detectOptions.parametricMode =
+            pipeline::DetectOptions::ParametricMode::Force;
+      else
+        return usage();
+      routeStats = true;
+    }
     else if (arg.rfind("--trace=", 0) == 0) {
       tracePath = arg.substr(8);
       if (tracePath.empty())
@@ -185,8 +208,9 @@ int main(int argc, char** argv) {
     pipeline::PipelineInfo info;
     if (detectCache) {
       static pipeline::DetectCache cache;
-      info = cache.getOrCompute(scop);
-      info = cache.getOrCompute(scop); // warm lookup: exercises the hit path
+      info = cache.getOrCompute(scop, detectOptions);
+      // Warm lookup: exercises the hit path.
+      info = cache.getOrCompute(scop, detectOptions);
       const pipeline::DetectCache::Stats st = cache.stats();
       std::fprintf(stderr,
                    "pipolyc: detect cache %llu hit(s), %llu miss(es), "
@@ -195,8 +219,16 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(st.misses), st.entries,
                    st.entries == 1 ? "y" : "ies");
     } else {
-      info = pipeline::detectPipeline(scop);
+      info = pipeline::detectPipeline(scop, detectOptions);
     }
+    if (routeStats)
+      std::fprintf(stderr,
+                   "pipolyc: detect routes — %zu candidate pair(s): "
+                   "%zu parametric, %zu symbolic, %zu explicit, "
+                   "%zu independent, %zu fallback(s)\n",
+                   info.stats.candidatePairs, info.stats.parametricPairs,
+                   info.stats.symbolicPairs, info.stats.explicitPairs,
+                   info.stats.independentPairs, info.stats.fallbackPairs());
     std::unique_ptr<sched::ScheduleNode> schedTree;
     {
       trace::Span span("compile.schedule");

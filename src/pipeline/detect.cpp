@@ -38,6 +38,14 @@ pb::IntMap coarsenBlocking(const pb::IntTupleSet& domain,
                      pb::IntTupleSet(domain.space(), std::move(kept)));
 }
 
+/// Which route produced (or dismissed) one candidate pair.
+enum class PairRoute : unsigned char {
+  Parametric,  // closed-form separable map (possibly empty: independent)
+  Symbolic,    // per-point symbolic fast path
+  Explicit,    // explicit Wr^-1(Rd) composition
+  Independent, // no dependence, discovered on the legacy route
+};
+
 /// Result of Algorithm 1, lines 1-7, for one dependent (source, target)
 /// candidate pair; `hasMap == false` when the pair yields no pipeline map
 /// (no dependence, or an empty map).
@@ -46,27 +54,105 @@ struct PairResult {
   pb::IntMap srcBlocking; // V_S over the source domain
   pb::IntMap tgtBlocking; // Y_T over the target domain
   bool hasMap = false;
+  PairRoute route = PairRoute::Independent;
+  ParametricFallback fallback = ParametricFallback::None;
 };
 
 PairResult computePair(const scop::Scop& scop, std::size_t s, std::size_t t,
                        const DetectOptions& options) {
+  using ParametricMode = DetectOptions::ParametricMode;
   PairResult r;
-  if (!scop::dependsOn(scop, t, s))
-    return r;
-  // The symbolic fast path covers identity-write sources (most
-  // kernels); the explicit Wr^-1(Rd) composition is the general case.
   pb::IntMap tMap;
-  if (std::optional<pb::IntMap> fast = trySymbolicPipelineMap(scop, s, t))
-    tMap = std::move(*fast);
-  else
-    tMap = pipelineMap(scop, s, t, options.allowNonInjectiveWrites);
-  if (tMap.empty())
-    return r;
+  bool haveMap = false;
+  if (options.parametricMode != ParametricMode::Off) {
+    const SeparablePairShape shape = classifySeparablePair(scop, s, t);
+    if (shape.ok()) {
+      // Closed form; an empty map *is* the no-dependence verdict, so the
+      // explicit dependence test is skipped entirely.
+      tMap = separablePipelineMap(scop, s, t, shape);
+      r.route = PairRoute::Parametric;
+      if (tMap.empty())
+        return r;
+      haveMap = true;
+    } else {
+      r.fallback = shape.fallback;
+      if (options.parametricMode == ParametricMode::Force &&
+          shape.fallback != ParametricFallback::NoSharedArray &&
+          scop::dependsOn(scop, t, s))
+        PIPOLY_CHECK_MSG(false,
+                         std::string("parametricMode=force: pair ") +
+                             scop.statement(s).name() + " -> " +
+                             scop.statement(t).name() +
+                             " is not parametric: " +
+                             toString(shape.fallback));
+    }
+  }
+  if (!haveMap) {
+    if (!scop::dependsOn(scop, t, s))
+      return r; // route stays Independent
+    // The symbolic fast path covers identity-write sources (most
+    // kernels); the explicit Wr^-1(Rd) composition is the general case.
+    if (std::optional<pb::IntMap> fast = trySymbolicPipelineMap(scop, s, t)) {
+      tMap = std::move(*fast);
+      r.route = PairRoute::Symbolic;
+    } else {
+      tMap = pipelineMap(scop, s, t, options.allowNonInjectiveWrites);
+      r.route = PairRoute::Explicit;
+    }
+    if (tMap.empty())
+      return r;
+  }
   r.srcBlocking = sourceBlockingMap(scop.statement(s).domain(), tMap);
   r.tgtBlocking = targetBlockingMap(scop.statement(t).domain(), tMap);
   r.map = std::move(tMap);
   r.hasMap = true;
   return r;
+}
+
+/// Trace instants for the per-pair route decisions (static names only;
+/// emitted from the serial gather loop so serial and parallel runs
+/// produce identical event streams).
+void traceRoute(const PairResult& r, std::int64_t pairIdx) {
+  if (!trace::enabled())
+    return;
+  switch (r.route) {
+  case PairRoute::Parametric:
+    trace::instant("detect.route.parametric", pairIdx);
+    break;
+  case PairRoute::Symbolic:
+    trace::instant("detect.route.symbolic", pairIdx);
+    break;
+  case PairRoute::Explicit:
+    trace::instant("detect.route.explicit", pairIdx);
+    break;
+  case PairRoute::Independent:
+    trace::instant("detect.route.independent", pairIdx);
+    break;
+  }
+  switch (r.fallback) {
+  case ParametricFallback::None:
+  case ParametricFallback::NoSharedArray: // vacuous, not a fallback
+  case ParametricFallback::kCount:
+    break;
+  case ParametricFallback::MultipleReads:
+    trace::instant("detect.fallback.multiple_reads", pairIdx);
+    break;
+  case ParametricFallback::NonIdentityWrite:
+    trace::instant("detect.fallback.non_identity_write", pairIdx);
+    break;
+  case ParametricFallback::AuxRead:
+    trace::instant("detect.fallback.aux_read", pairIdx);
+    break;
+  case ParametricFallback::NonSeparableRead:
+    trace::instant("detect.fallback.non_separable_read", pairIdx);
+    break;
+  case ParametricFallback::NonMonotoneRead:
+    trace::instant("detect.fallback.non_monotone_read", pairIdx);
+    break;
+  case ParametricFallback::NonRectangularDomain:
+    trace::instant("detect.fallback.non_rectangular_domain", pairIdx);
+    break;
+  }
 }
 
 /// Algorithm 1, lines 8-10, for one statement: integrate its blocking
@@ -249,10 +335,30 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
     });
   }
 
-  // Deterministic gather preserving the serial push order.
+  // Deterministic gather preserving the serial push order; the route
+  // counters and their trace instants are tallied here (not in the
+  // workers) so they are identical for every thread count.
+  info.stats.candidatePairs = candidates.size();
   std::vector<std::vector<pb::IntMap>> blockingMaps(n);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     PairResult& r = pairResults[i];
+    switch (r.route) {
+    case PairRoute::Parametric:
+      ++info.stats.parametricPairs;
+      break;
+    case PairRoute::Symbolic:
+      ++info.stats.symbolicPairs;
+      break;
+    case PairRoute::Explicit:
+      ++info.stats.explicitPairs;
+      break;
+    case PairRoute::Independent:
+      ++info.stats.independentPairs;
+      break;
+    }
+    if (r.fallback != ParametricFallback::None)
+      ++info.stats.fallbackByReason[static_cast<std::size_t>(r.fallback)];
+    traceRoute(r, static_cast<std::int64_t>(i));
     if (!r.hasMap)
       continue;
     const auto [s, t] = candidates[i];

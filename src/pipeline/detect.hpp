@@ -14,8 +14,11 @@
 
 #include "pipeline/blocking.hpp"
 #include "pipeline/pipeline_map.hpp"
+#include "pipeline/symbolic.hpp"
 #include "scop/scop.hpp"
 
+#include <array>
+#include <cstddef>
 #include <vector>
 
 namespace pipoly::pipeline {
@@ -62,9 +65,52 @@ struct StatementPipelineInfo {
   pb::IntMap selfEdges;
 };
 
+/// Per-run route accounting for the candidate pairs of Algorithm 1,
+/// lines 1-7. Deterministic (gathered in the serial candidate order) and
+/// deliberately *not* part of the result's bit-identity contract: the
+/// semantic fields of PipelineInfo are equal across parametric modes,
+/// the stats record which route produced them.
+struct DetectStats {
+  /// Ordered candidate pairs (s < t) examined.
+  std::size_t candidatePairs = 0;
+  /// Pairs the closed-form parametric route fully handled (including
+  /// pairs it proved independent: an empty readers rectangle).
+  std::size_t parametricPairs = 0;
+  /// Pairs the per-point symbolic fast path handled after a parametric
+  /// fallback (or with the parametric route off).
+  std::size_t symbolicPairs = 0;
+  /// Pairs that needed the explicit Wr^-1(Rd) composition.
+  std::size_t explicitPairs = 0;
+  /// Pairs with no dependence, discovered on the legacy route (the
+  /// parametric route counts its independent pairs as parametric).
+  std::size_t independentPairs = 0;
+  /// Parametric-route rejections by reason, indexed by ParametricFallback
+  /// (only meaningful in Auto/Force modes; NoSharedArray rejections are
+  /// vacuous pairs, not fallbacks, but are tallied here too).
+  std::array<std::size_t, static_cast<std::size_t>(ParametricFallback::kCount)>
+      fallbackByReason{};
+
+  /// Pairs that fell back from the parametric to a legacy route (excludes
+  /// vacuous no-shared-array pairs).
+  std::size_t fallbackPairs() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < fallbackByReason.size(); ++i)
+      if (i != static_cast<std::size_t>(ParametricFallback::None) &&
+          i != static_cast<std::size_t>(ParametricFallback::NoSharedArray))
+        n += fallbackByReason[i];
+    return n;
+  }
+  std::size_t fallbacks(ParametricFallback f) const {
+    return fallbackByReason[static_cast<std::size_t>(f)];
+  }
+};
+
 struct PipelineInfo {
   std::vector<PipelineMapEntry> maps;
   std::vector<StatementPipelineInfo> statements; // indexed by statement
+  /// Route accounting for this run. Cached results carry the stats of the
+  /// run that computed them.
+  DetectStats stats;
 
   bool hasPipeline() const { return !maps.empty(); }
   /// Total number of blocks (= tasks) across all statements.
@@ -98,6 +144,24 @@ struct DetectOptions {
   /// (e.g. the fully parallel nmm nests, or nests whose dependences do
   /// not cross block boundaries).
   bool relaxSameNestOrdering = false;
+
+  /// The parametric-first route (the closed-form pipeline maps of
+  /// symbolic.hpp's separable shape).
+  enum class ParametricMode {
+    /// Bit-identical legacy: per-pair dependence test, then the
+    /// per-point symbolic fast path or the explicit composition.
+    Off,
+    /// The default: classify each candidate pair; separable pairs take
+    /// the closed form (skipping the explicit dependence test entirely),
+    /// the rest fall back per-pair to the legacy route. The resulting
+    /// PipelineInfo is bit-identical to Off.
+    Auto,
+    /// Like Auto, but a *dependent* pair that the parametric route
+    /// cannot handle throws pipoly::Error instead of falling back —
+    /// the regression guard for suites that must stay fully regular.
+    Force,
+  };
+  ParametricMode parametricMode = ParametricMode::Auto;
 
   /// Workers for the detection pass itself. 0 (the default) runs
   /// everything inline on the caller's thread — the serial reference

@@ -55,11 +55,16 @@ private:
 std::string detectFingerprint(const scop::Scop& scop,
                               const DetectOptions& options) {
   KeyBuilder k;
-  k.str("pipoly-detect-v1");
+  k.str("pipoly-detect-v2");
   k.num(static_cast<std::int64_t>(options.integration));
   k.num(static_cast<std::int64_t>(options.coarsening));
   k.num(options.allowNonInjectiveWrites ? 1 : 0);
   k.num(options.relaxSameNestOrdering ? 1 : 0);
+  // parametricMode is part of the key even though the semantic result is
+  // bit-identical across modes: the DetectStats riding on PipelineInfo
+  // record the route, and a cached entry must replay the stats of the
+  // options it was computed under.
+  k.num(static_cast<std::int64_t>(options.parametricMode));
   // numThreads deliberately excluded: the result is bit-identical for
   // every thread count (detect.hpp's contract), so serial and parallel
   // runs share entries.

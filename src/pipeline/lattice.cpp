@@ -1,0 +1,236 @@
+#include "pipeline/lattice.hpp"
+
+#include "presburger/rows.hpp"
+#include "support/assert.hpp"
+
+#include <numeric>
+
+namespace pipoly::pipeline {
+
+bool DimProgression::contains(pb::Value v) const {
+  return !empty() && v >= first && v <= last() &&
+         (v - first) % stride == 0;
+}
+
+std::optional<pb::Value> DimProgression::ceil(pb::Value v) const {
+  if (empty())
+    return std::nullopt;
+  if (v <= first)
+    return first;
+  const pb::Value k = ceilDiv(v - first, stride);
+  if (k >= count)
+    return std::nullopt;
+  return first + k * stride;
+}
+
+DimProgression intersect(const DimProgression& a, const DimProgression& b) {
+  DimProgression out; // count = 0: empty by default
+  if (a.empty() || b.empty())
+    return out;
+  PIPOLY_CHECK(a.stride >= 1 && b.stride >= 1);
+
+  // Solve x ≡ a.first (mod a.stride), x ≡ b.first (mod b.stride).
+  // Extended gcd in 128-bit: the values are iteration coordinates times
+  // small strides, but the intermediate products deserve headroom.
+  using I = __int128;
+  I s = a.stride, t = b.stride;
+  I oldR = s, r = t, oldP = 1, p = 0;
+  while (r != 0) {
+    const I q = oldR / r;
+    I tmp = oldR - q * r;
+    oldR = r;
+    r = tmp;
+    tmp = oldP - q * p;
+    oldP = p;
+    p = tmp;
+  }
+  const I g = oldR; // gcd(s, t), with s*oldP ≡ g (mod t)
+  const I diff = static_cast<I>(b.first) - static_cast<I>(a.first);
+  if (diff % g != 0)
+    return out;
+  const I lcm = s / g * t;
+  // x0 = a.first + s * ((diff/g * oldP) mod (t/g)) is one solution.
+  const I tg = t / g;
+  I m = (diff / g % tg) * (oldP % tg) % tg;
+  if (m < 0)
+    m += tg;
+  const I x0 = static_cast<I>(a.first) + s * m;
+
+  const I lo = std::max<I>(a.first, b.first);
+  const I hi = std::min<I>(a.last(), b.last());
+  if (hi < lo)
+    return out;
+  // Smallest solution >= lo.
+  I firstSol = x0;
+  if (firstSol < lo)
+    firstSol += (lo - firstSol + lcm - 1) / lcm * lcm;
+  else
+    firstSol -= (firstSol - lo) / lcm * lcm;
+  if (firstSol > hi)
+    return out;
+  out.first = static_cast<pb::Value>(firstSol);
+  out.stride = static_cast<pb::Value>(lcm);
+  out.count = static_cast<pb::Value>((hi - firstSol) / lcm + 1);
+  return out;
+}
+
+bool BoundaryLattice::empty() const {
+  for (const DimProgression& p : dims)
+    if (p.empty())
+      return true;
+  return false;
+}
+
+pb::Value BoundaryLattice::size() const {
+  pb::Value n = 1;
+  for (const DimProgression& p : dims)
+    n *= p.count;
+  return n;
+}
+
+pb::Tuple BoundaryLattice::lexmin() const {
+  PIPOLY_CHECK(!empty());
+  std::vector<pb::Value> v;
+  v.reserve(dims.size());
+  for (const DimProgression& p : dims)
+    v.push_back(p.first);
+  return pb::Tuple(v);
+}
+
+pb::Tuple BoundaryLattice::lexmax() const {
+  PIPOLY_CHECK(!empty());
+  std::vector<pb::Value> v;
+  v.reserve(dims.size());
+  for (const DimProgression& p : dims)
+    v.push_back(p.last());
+  return pb::Tuple(v);
+}
+
+bool BoundaryLattice::contains(const pb::Tuple& t) const {
+  PIPOLY_CHECK(t.size() == dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d)
+    if (!dims[d].contains(t[d]))
+      return false;
+  return true;
+}
+
+std::optional<pb::Tuple> BoundaryLattice::lexCeil(const pb::Tuple& x) const {
+  PIPOLY_CHECK(x.size() == dims.size());
+  if (empty())
+    return std::nullopt;
+  const std::size_t n = dims.size();
+  // The deepest position whose prefix can stay tight: dims before it hold
+  // their exact coordinate of x.
+  std::size_t mismatch = n;
+  for (std::size_t d = 0; d < n; ++d)
+    if (!dims[d].contains(x[d])) {
+      mismatch = d;
+      break;
+    }
+  if (mismatch == n)
+    return pb::Tuple(x); // x itself is a lattice point
+  // Candidates keep x's coordinates on a prefix, take the smallest
+  // progression element >= (resp. >) x at one position, and the minima
+  // after it. Deeper positions give lex-smaller candidates, so scan from
+  // the mismatch backwards and return the first that exists.
+  for (std::size_t d = mismatch + 1; d-- > 0;) {
+    const std::optional<pb::Value> v = d == mismatch
+                                           ? dims[d].ceil(x[d])
+                                           : dims[d].ceilStrict(x[d]);
+    if (!v.has_value())
+      continue;
+    std::vector<pb::Value> out(x.begin(), x.begin() + d);
+    out.push_back(*v);
+    for (std::size_t e = d + 1; e < n; ++e)
+      out.push_back(dims[e].first);
+    return pb::Tuple(std::move(out));
+  }
+  return std::nullopt;
+}
+
+pb::IntTupleSet BoundaryLattice::points(pb::Space space) const {
+  PIPOLY_CHECK(space.arity() == dims.size());
+  if (empty() || dims.empty())
+    return empty() ? pb::IntTupleSet(space)
+                   : pb::IntTupleSet(space, {pb::Tuple()});
+  const std::size_t n = dims.size();
+  pb::RowBuffer data;
+  data.reserve(static_cast<std::size_t>(size()) * n);
+  std::vector<pb::Value> cur;
+  cur.reserve(n);
+  for (const DimProgression& p : dims)
+    cur.push_back(p.first);
+  for (;;) {
+    pb::rows::append(data, cur.data(), n);
+    std::size_t d = n;
+    while (d-- > 0) {
+      cur[d] += dims[d].stride;
+      if (cur[d] <= dims[d].last())
+        break;
+      cur[d] = dims[d].first;
+      if (d == 0)
+        return pb::IntTupleSet::fromSortedRows(space, std::move(data));
+    }
+  }
+}
+
+BoundaryLattice intersect(const BoundaryLattice& a, const BoundaryLattice& b) {
+  PIPOLY_CHECK(a.arity() == b.arity());
+  BoundaryLattice out;
+  out.dims.reserve(a.dims.size());
+  for (std::size_t d = 0; d < a.dims.size(); ++d)
+    out.dims.push_back(intersect(a.dims[d], b.dims[d]));
+  return out;
+}
+
+pb::Value unionSize(const std::vector<BoundaryLattice>& lattices) {
+  std::vector<const BoundaryLattice*> live;
+  for (const BoundaryLattice& l : lattices)
+    if (!l.empty())
+      live.push_back(&l);
+  const std::size_t k = live.size();
+  PIPOLY_CHECK_MSG(k <= 20, "inclusion-exclusion over too many lattices");
+  pb::Value total = 0;
+  for (std::size_t mask = 1; mask < (std::size_t{1} << k); ++mask) {
+    BoundaryLattice inter;
+    bool first = true;
+    int bits = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!(mask & (std::size_t{1} << i)))
+        continue;
+      ++bits;
+      inter = first ? *live[i] : intersect(inter, *live[i]);
+      first = false;
+      if (inter.empty())
+        break;
+    }
+    if (inter.empty())
+      continue;
+    total += (bits % 2 == 1) ? inter.size() : -inter.size();
+  }
+  return total;
+}
+
+bool unionContains(const std::vector<BoundaryLattice>& lattices,
+                   const pb::Tuple& x) {
+  for (const BoundaryLattice& l : lattices)
+    if (!l.empty() && l.contains(x))
+      return true;
+  return false;
+}
+
+std::optional<pb::Tuple>
+unionLexCeil(const std::vector<BoundaryLattice>& lattices,
+             const pb::Tuple& x) {
+  std::optional<pb::Tuple> best;
+  for (const BoundaryLattice& l : lattices) {
+    if (l.empty())
+      continue;
+    std::optional<pb::Tuple> c = l.lexCeil(x);
+    if (c.has_value() && (!best.has_value() || *c < *best))
+      best = std::move(c);
+  }
+  return best;
+}
+
+} // namespace pipoly::pipeline

@@ -1,0 +1,101 @@
+#pragma once
+
+// Boundary lattices — the symbolic form of the block-boundary sets the
+// separable closed forms produce. For a separable pair (identity-write
+// source, single monotone read subscript_d = c_d*j_d + o_d, rectangular
+// domains) the pipeline map is T = { c⊙j+o -> j : j in R } with R a
+// clipped rectangle, so
+//
+//   Dom(T)   = product of per-dim progressions with stride c_d, and
+//   Range(T) = R, a product of stride-1 progressions.
+//
+// Both are *product lattices*: cartesian products of per-dimension
+// arithmetic progressions. Everything the N-independent detection route
+// (param_detect) needs from a boundary set has a closed form here:
+//
+//   * membership and lexicographic ceiling (the blockingMap image of an
+//     iteration) in O(dims),
+//   * the size of a union of lattices by inclusion-exclusion, where
+//     lattice intersections reduce to per-dim progression intersections
+//     (a CRT/gcd computation),
+//
+// so block counts and eq.-4 requirement checks cost O(pairs * 2^k * dims)
+// arithmetic — independent of the iteration counts N.
+
+#include "presburger/set.hpp"
+#include "presburger/tuple.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace pipoly::pipeline {
+
+/// Floor/ceil division with a positive divisor (C++ '/' truncates toward
+/// zero; the clipping arithmetic needs the mathematical variants).
+inline pb::Value floorDiv(pb::Value a, pb::Value b) {
+  pb::Value q = a / b;
+  if (a % b != 0 && a < 0)
+    --q;
+  return q;
+}
+
+inline pb::Value ceilDiv(pb::Value a, pb::Value b) { return -floorDiv(-a, b); }
+
+/// The arithmetic progression { first + stride*k : 0 <= k < count },
+/// stride >= 1. count == 0 is the empty progression.
+struct DimProgression {
+  pb::Value first = 0;
+  pb::Value stride = 1;
+  pb::Value count = 0;
+
+  bool empty() const { return count == 0; }
+  pb::Value last() const { return first + stride * (count - 1); }
+  bool contains(pb::Value v) const;
+  /// The smallest element >= v; nullopt when v > last() (or empty).
+  std::optional<pb::Value> ceil(pb::Value v) const;
+  /// The smallest element > v; nullopt when none.
+  std::optional<pb::Value> ceilStrict(pb::Value v) const { return ceil(v + 1); }
+};
+
+/// Intersection of two progressions: solves the congruence pair via the
+/// extended gcd (CRT) and clips to both windows. Strides must be >= 1.
+DimProgression intersect(const DimProgression& a, const DimProgression& b);
+
+/// A product lattice P_0 x ... x P_{n-1}. Empty when any factor is empty
+/// (a lattice over zero dims holds exactly the empty tuple).
+struct BoundaryLattice {
+  std::vector<DimProgression> dims;
+
+  std::size_t arity() const { return dims.size(); }
+  bool empty() const;
+  /// Number of points (product of the per-dim counts).
+  pb::Value size() const;
+  /// Lexicographic extrema; the lattice must be non-empty.
+  pb::Tuple lexmin() const;
+  pb::Tuple lexmax() const;
+  bool contains(const pb::Tuple& t) const;
+  /// The smallest lattice point lexicographically >= x — the blockingMap
+  /// image of x under this boundary set. O(arity). nullopt when every
+  /// lattice point is lex< x.
+  std::optional<pb::Tuple> lexCeil(const pb::Tuple& x) const;
+  /// Materialises the points in lexicographic order (cross-checks and
+  /// small instantiations only — size() grows with the domain).
+  pb::IntTupleSet points(pb::Space space) const;
+};
+
+BoundaryLattice intersect(const BoundaryLattice& a, const BoundaryLattice& b);
+
+/// |L_0 ∪ ... ∪ L_{k-1}| by inclusion-exclusion (2^k intersection terms;
+/// k is the number of pipeline maps touching one statement, a handful).
+pb::Value unionSize(const std::vector<BoundaryLattice>& lattices);
+
+/// True when some lattice contains x.
+bool unionContains(const std::vector<BoundaryLattice>& lattices,
+                   const pb::Tuple& x);
+
+/// The smallest point >= x across all lattices (lex-min of the per-lattice
+/// ceilings) — the integrated-Σ image of x. nullopt when none.
+std::optional<pb::Tuple>
+unionLexCeil(const std::vector<BoundaryLattice>& lattices, const pb::Tuple& x);
+
+} // namespace pipoly::pipeline

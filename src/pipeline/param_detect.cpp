@@ -1,0 +1,314 @@
+#include "pipeline/param_detect.hpp"
+
+#include "pipeline/parametric.hpp"
+#include "support/assert.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pipoly::pipeline {
+
+namespace {
+
+/// Symbolic counterpart of symbolic.cpp's isIdentityWrite: subscript d is
+/// exactly dimension d with a zero (constant) offset.
+bool isIdentityWrite(const scop::ParamStatement& stmt,
+                     const scop::ParamAccess& w) {
+  if (w.rank() != stmt.depth())
+    return false;
+  for (std::size_t d = 0; d < stmt.depth(); ++d) {
+    if (!(w.offsets[d] == pb::ParamExpr(0)))
+      return false;
+    for (std::size_t k = 0; k < stmt.depth(); ++k)
+      if (w.coeffs[d][k] != (k == d ? 1 : 0))
+        return false;
+  }
+  return true;
+}
+
+/// Classifies one candidate pair, mirroring classifySeparablePair's
+/// ladder on the symbolic description. `shares` reports whether the pair
+/// shares an array at all (pairs that don't are not candidates).
+ParamPairPlan classifyPair(const scop::ParamScop& pscop, std::size_t srcIdx,
+                           std::size_t tgtIdx, bool& shares) {
+  const scop::ParamStatement& src = pscop.statement(srcIdx);
+  const scop::ParamStatement& tgt = pscop.statement(tgtIdx);
+  ParamPairPlan plan;
+  plan.srcIdx = srcIdx;
+  plan.tgtIdx = tgtIdx;
+
+  std::vector<std::size_t> written;
+  for (const scop::ParamAccess& w : src.writes)
+    written.push_back(w.arrayId);
+  std::sort(written.begin(), written.end());
+  written.erase(std::unique(written.begin(), written.end()), written.end());
+
+  // Exactly one array written by the source and read by the target,
+  // through exactly one read access.
+  const scop::ParamAccess* read = nullptr;
+  std::size_t sharedArrays = 0, sharedReads = 0, sharedArrayId = 0;
+  for (std::size_t arrayId : written) {
+    std::size_t readsOfArray = 0;
+    for (const scop::ParamAccess& r : tgt.reads)
+      if (r.arrayId == arrayId) {
+        ++readsOfArray;
+        read = &r;
+      }
+    if (readsOfArray > 0) {
+      ++sharedArrays;
+      sharedArrayId = arrayId;
+      sharedReads += readsOfArray;
+    }
+  }
+  shares = sharedArrays > 0;
+  if (!shares) {
+    plan.fallback = ParametricFallback::NoSharedArray;
+    return plan;
+  }
+  if (sharedArrays > 1 || sharedReads > 1) {
+    plan.fallback = ParametricFallback::MultipleReads;
+    return plan;
+  }
+  for (const scop::ParamAccess& w : src.writes)
+    if (w.arrayId == sharedArrayId && !isIdentityWrite(src, w)) {
+      plan.fallback = ParametricFallback::NonIdentityWrite;
+      return plan;
+    }
+
+  // Separable monotone read: subscript_d = c_d * j_d + o_d, c_d >= 1
+  // (the offsets stay parameter-affine).
+  const std::size_t n = src.depth();
+  if (tgt.depth() != n || read->rank() != n) {
+    plan.fallback = ParametricFallback::NonSeparableRead;
+    return plan;
+  }
+  plan.coeffs.reserve(n);
+  plan.offsets.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    for (std::size_t k = 0; k < n; ++k)
+      if (k != d && read->coeffs[d][k] != 0) {
+        plan.fallback = ParametricFallback::NonSeparableRead;
+        plan.coeffs.clear();
+        plan.offsets.clear();
+        return plan;
+      }
+    if (read->coeffs[d][d] < 1) {
+      plan.fallback = ParametricFallback::NonMonotoneRead;
+      plan.coeffs.clear();
+      plan.offsets.clear();
+      return plan;
+    }
+    plan.coeffs.push_back(read->coeffs[d][d]);
+    plan.offsets.push_back(read->offsets[d]);
+  }
+
+  // ParamScop domains are parametric rectangles by construction, so the
+  // shape is complete: build the closed-form symbolic map.
+  ParamRectStatement ps{src.name, src.bounds};
+  ParamRectStatement pt{tgt.name, tgt.bounds};
+  plan.map =
+      parametricPipelineMap(ps, pt, SeparableRead{plan.coeffs, plan.offsets});
+  return plan;
+}
+
+} // namespace
+
+ParamDetection detectParametric(scop::ParamScop pscop) {
+  ParamDetection det(std::move(pscop));
+  const std::size_t n = det.scop_.numStatements();
+  // Same (t outer, s inner) candidate order as detectPipeline's phase 1.
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t s = 0; s < t; ++s) {
+      bool shares = false;
+      ParamPairPlan plan = classifyPair(det.scop_, s, t, shares);
+      if (shares)
+        det.plans_.push_back(std::move(plan));
+    }
+  return det;
+}
+
+std::size_t ParamDetection::regularPlans() const {
+  return static_cast<std::size_t>(
+      std::count_if(plans_.begin(), plans_.end(),
+                    [](const ParamPairPlan& p) { return p.regular(); }));
+}
+
+std::size_t ParamDetection::irregularPlans() const {
+  return plans_.size() - regularPlans();
+}
+
+std::optional<std::vector<pb::DimBounds>>
+ParamDetection::evalBox(std::size_t stmtIdx,
+                        const pb::ParamBindings& bindings) const {
+  const scop::ParamStatement& stmt = scop_.statement(stmtIdx);
+  std::vector<pb::DimBounds> box;
+  box.reserve(stmt.depth());
+  for (const auto& [lo, hi] : stmt.bounds) {
+    pb::DimBounds b{lo.evaluate(bindings), hi.evaluate(bindings) - 1};
+    if (b.upper < b.lower)
+      return std::nullopt; // empty domain
+    box.push_back(b);
+  }
+  return box;
+}
+
+std::optional<std::vector<pb::DimBounds>>
+ParamDetection::readersRect(const ParamPairPlan& plan,
+                            const pb::ParamBindings& bindings) const {
+  PIPOLY_CHECK(plan.regular());
+  auto srcBox = evalBox(plan.srcIdx, bindings);
+  auto tgtBox = evalBox(plan.tgtIdx, bindings);
+  if (!srcBox || !tgtBox)
+    return std::nullopt;
+  const std::size_t n = plan.coeffs.size();
+  std::vector<pb::DimBounds> r(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    const pb::Value c = plan.coeffs[d];
+    const pb::Value o = plan.offsets[d].evaluate(bindings);
+    r[d].lower =
+        std::max((*tgtBox)[d].lower, ceilDiv((*srcBox)[d].lower - o, c));
+    r[d].upper =
+        std::min((*tgtBox)[d].upper, floorDiv((*srcBox)[d].upper - o, c));
+    if (r[d].lower > r[d].upper)
+      return std::nullopt; // no read hits the written region
+  }
+  return r;
+}
+
+std::vector<BoundaryLattice>
+ParamDetection::boundaryLattices(std::size_t stmtIdx,
+                                 const pb::ParamBindings& bindings) const {
+  std::vector<BoundaryLattice> out;
+  for (const ParamPairPlan& p : plans_) {
+    const bool isSrc = p.srcIdx == stmtIdx;
+    const bool isTgt = p.tgtIdx == stmtIdx;
+    if (!isSrc && !isTgt)
+      continue;
+    PIPOLY_CHECK_MSG(p.regular(),
+                     "statement is touched by a non-parametric pair");
+    auto r = readersRect(p, bindings);
+    if (!r)
+      continue; // vacuous plan contributes no boundaries
+    BoundaryLattice lat;
+    lat.dims.reserve(r->size());
+    for (std::size_t d = 0; d < r->size(); ++d) {
+      const pb::Value count = (*r)[d].upper - (*r)[d].lower + 1;
+      if (isSrc) {
+        // Dom(T) = f(R): start at f(lo), stride c_d.
+        const pb::Value o = p.offsets[d].evaluate(bindings);
+        lat.dims.push_back(
+            {p.coeffs[d] * (*r)[d].lower + o, p.coeffs[d], count});
+      } else {
+        // Range(T) = R itself, dense.
+        lat.dims.push_back({(*r)[d].lower, 1, count});
+      }
+    }
+    out.push_back(std::move(lat));
+  }
+  return out;
+}
+
+ParamSummary ParamDetection::summarize(const pb::ParamBindings& bindings) const {
+  PIPOLY_CHECK_MSG(fullyRegular(),
+                   "summarize needs a fully parametric scop "
+                   "(irregular pairs require the explicit route)");
+  ParamSummary out;
+  out.statements.reserve(scop_.numStatements());
+  for (std::size_t i = 0; i < scop_.numStatements(); ++i) {
+    ParamStatementSummary s;
+    s.name = scop_.statement(i).name;
+    auto box = evalBox(i, bindings);
+    if (!box) {
+      out.statements.push_back(std::move(s)); // empty: 0 points, 0 blocks
+      continue;
+    }
+    s.domainSize = 1;
+    std::vector<pb::Value> hi;
+    hi.reserve(box->size());
+    for (const pb::DimBounds& b : *box) {
+      s.domainSize *= b.upper - b.lower + 1;
+      hi.push_back(b.upper);
+    }
+    std::vector<BoundaryLattice> lats = boundaryLattices(i, bindings);
+    if (lats.empty()) {
+      s.blockCount = 1; // no pipeline map touches it: one block
+    } else {
+      // |union of boundary sets|, plus the trailing block whose rep is
+      // the domain lexmax when that is not itself a boundary.
+      const pb::Tuple lexmax(hi);
+      s.blockCount =
+          unionSize(lats) + (unionContains(lats, lexmax) ? 0 : 1);
+    }
+    out.totalBlocks += s.blockCount;
+    out.statements.push_back(std::move(s));
+  }
+  for (const ParamPairPlan& p : plans_)
+    if (readersRect(p, bindings))
+      ++out.pipelineMaps;
+  return out;
+}
+
+pb::IntTupleSet
+ParamDetection::blockReps(std::size_t stmtIdx,
+                          const pb::ParamBindings& bindings) const {
+  const scop::ParamStatement& stmt = scop_.statement(stmtIdx);
+  pb::Space space(stmt.name, stmt.depth());
+  auto box = evalBox(stmtIdx, bindings);
+  if (!box)
+    return pb::IntTupleSet(space);
+  std::vector<pb::Tuple> pts;
+  for (const BoundaryLattice& lat : boundaryLattices(stmtIdx, bindings))
+    for (const pb::Tuple& t : lat.points(space).points())
+      pts.push_back(t);
+  std::vector<pb::Value> hi;
+  hi.reserve(box->size());
+  for (const pb::DimBounds& b : *box)
+    hi.push_back(b.upper);
+  pts.emplace_back(hi);
+  return pb::IntTupleSet(space, std::move(pts));
+}
+
+pb::Tuple
+ParamDetection::requiredSourceRep(std::size_t planIdx,
+                                  const pb::Tuple& targetRep,
+                                  const pb::ParamBindings& bindings) const {
+  const ParamPairPlan& plan = plans_.at(planIdx);
+  PIPOLY_CHECK_MSG(plan.regular(), "requiredSourceRep needs a regular plan");
+  auto r = readersRect(plan, bindings);
+  PIPOLY_CHECK_MSG(r.has_value(),
+                   "pair carries no dependence under these bindings");
+  const std::size_t n = r->size();
+  PIPOLY_CHECK_MSG(targetRep.size() == n, "target rep arity mismatch");
+
+  // Y_T(rep): the smallest Range(T) = R boundary lex>= the target rep; a
+  // rep past every boundary provably reads nothing new, and the explicit
+  // route requires the whole pipelined prefix (f of the last reader).
+  BoundaryLattice rangeL;
+  rangeL.dims.reserve(n);
+  for (std::size_t d = 0; d < n; ++d)
+    rangeL.dims.push_back(
+        {(*r)[d].lower, 1, (*r)[d].upper - (*r)[d].lower + 1});
+  std::optional<pb::Tuple> ceil = rangeL.lexCeil(targetRep);
+  const pb::Tuple reader = ceil ? std::move(*ceil) : rangeL.lexmax();
+
+  // required = T^-1(boundary) = f(reader).
+  pb::Tuple required = pb::Tuple::zeros(n);
+  for (std::size_t d = 0; d < n; ++d)
+    required[d] =
+        plan.coeffs[d] * reader[d] + plan.offsets[d].evaluate(bindings);
+
+  // Sigma_src(required): the source block that produces it.
+  std::vector<BoundaryLattice> srcLats =
+      boundaryLattices(plan.srcIdx, bindings);
+  if (std::optional<pb::Tuple> rep = unionLexCeil(srcLats, required))
+    return *rep;
+  auto srcBox = evalBox(plan.srcIdx, bindings);
+  PIPOLY_CHECK(srcBox.has_value());
+  std::vector<pb::Value> hi;
+  hi.reserve(srcBox->size());
+  for (const pb::DimBounds& b : *srcBox)
+    hi.push_back(b.upper);
+  return pb::Tuple(hi);
+}
+
+} // namespace pipoly::pipeline

@@ -1,0 +1,133 @@
+#pragma once
+
+// The N-independent detection route. detectParametric() analyses a
+// scop::ParamScop once — classifying every candidate pair against the
+// separable shape (identity-write source, a single separable monotone
+// read, rectangular domains) and building the closed-form symbolic
+// pipeline map for the pairs that match. All of the shape reasoning
+// happens on the symbolic description, so the analysis cost depends on
+// the number of statements and dims, never on the iteration counts.
+//
+// Once parameters are bound, summarize() turns the plans into the
+// paper's headline numbers — per-statement block counts, total blocks,
+// live pipeline maps — through the product-lattice closed forms of
+// pipeline/lattice.hpp: O(pairs * 2^k * dims) arithmetic per binding.
+// requiredSourceRep() answers the eq.-4 requirement question at block
+// granularity the same way. blockReps() materialises a statement's
+// block representatives for small bindings so the differential harness
+// can prove the route bit-identical to the explicit detectPipeline().
+//
+// Pairs that do not match the shape are kept as irregular plans with
+// their ParametricFallback reason; summaries over such scops refuse
+// (the explicit route is the fallback, exactly as in detectPipeline's
+// per-pair ladder).
+
+#include "pipeline/lattice.hpp"
+#include "pipeline/symbolic.hpp"
+#include "presburger/param.hpp"
+#include "scop/param_scop.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipoly::pipeline {
+
+/// One candidate pair (source writes an array the target reads) with its
+/// classification. `fallback == None` means the pair is regular and the
+/// symbolic closed forms below are populated.
+struct ParamPairPlan {
+  std::size_t srcIdx = 0;
+  std::size_t tgtIdx = 0;
+  ParametricFallback fallback = ParametricFallback::None;
+
+  /// Regular pairs only: the read is subscript_d = coeffs[d]*j_d +
+  /// offsets[d] with coeffs[d] >= 1, and `map` is the closed-form
+  /// symbolic pipeline map T (instantiates bit-identically to the
+  /// explicit pipelineMap()).
+  std::vector<pb::Value> coeffs;
+  std::vector<pb::ParamExpr> offsets;
+  std::optional<pb::ParamMap> map;
+
+  bool regular() const { return fallback == ParametricFallback::None; }
+};
+
+/// Per-statement summary under one parameter binding.
+struct ParamStatementSummary {
+  std::string name;
+  pb::Value domainSize = 0;
+  pb::Value blockCount = 0;
+};
+
+/// The paper's Table-9 style numbers for one binding, computed in closed
+/// form (no domain is ever materialised).
+struct ParamSummary {
+  std::vector<ParamStatementSummary> statements;
+  pb::Value totalBlocks = 0;
+  /// Regular plans whose dependence is non-vacuous under this binding
+  /// (the clipped readers rectangle R is non-empty).
+  std::size_t pipelineMaps = 0;
+};
+
+class ParamDetection {
+public:
+  const scop::ParamScop& scop() const { return scop_; }
+  const std::vector<ParamPairPlan>& plans() const { return plans_; }
+
+  std::size_t regularPlans() const;
+  std::size_t irregularPlans() const;
+  /// True when every candidate pair matched the separable shape.
+  bool fullyRegular() const { return irregularPlans() == 0; }
+
+  /// Closed-form block counts under `bindings`. Requires fullyRegular().
+  ParamSummary summarize(const pb::ParamBindings& bindings) const;
+
+  /// The boundary lattices contributing block boundaries to statement
+  /// `stmtIdx` under `bindings`: Dom(T) for plans where it is the source,
+  /// Range(T) = R for plans where it is the target. Only non-vacuous
+  /// plans contribute. Requires every plan touching the statement to be
+  /// regular.
+  std::vector<BoundaryLattice>
+  boundaryLattices(std::size_t stmtIdx,
+                   const pb::ParamBindings& bindings) const;
+
+  /// The statement's block representatives under `bindings`, materialised
+  /// (union of the boundary lattices plus the domain lexmax). Matches the
+  /// explicit route's StatementPipelineInfo::blockReps bit for bit; meant
+  /// for differential tests at small bindings.
+  pb::IntTupleSet blockReps(std::size_t stmtIdx,
+                            const pb::ParamBindings& bindings) const;
+
+  /// Eq.-4 at block granularity: the source block representative whose
+  /// completion the target block represented by `targetRep` must wait
+  /// for, along plan `planIdx` (which must be regular and non-vacuous
+  /// under `bindings`).
+  pb::Tuple requiredSourceRep(std::size_t planIdx, const pb::Tuple& targetRep,
+                              const pb::ParamBindings& bindings) const;
+
+private:
+  friend ParamDetection detectParametric(scop::ParamScop pscop);
+  explicit ParamDetection(scop::ParamScop s) : scop_(std::move(s)) {}
+
+  /// The inclusive per-dim box of a statement's domain; nullopt when the
+  /// domain is empty under `bindings`.
+  std::optional<std::vector<pb::DimBounds>>
+  evalBox(std::size_t stmtIdx, const pb::ParamBindings& bindings) const;
+
+  /// The clipped readers rectangle R of a regular plan; nullopt when the
+  /// dependence is vacuous under `bindings`.
+  std::optional<std::vector<pb::DimBounds>>
+  readersRect(const ParamPairPlan& plan,
+              const pb::ParamBindings& bindings) const;
+
+  scop::ParamScop scop_;
+  std::vector<ParamPairPlan> plans_;
+};
+
+/// Analyses the parametric SCoP once. Never fails: pairs that do not
+/// match the separable shape become irregular plans carrying their
+/// fallback reason.
+ParamDetection detectParametric(scop::ParamScop pscop);
+
+} // namespace pipoly::pipeline

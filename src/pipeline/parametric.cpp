@@ -40,7 +40,7 @@ pb::ParamMap parametricPipelineMap(const ParamRectStatement& source,
     eq.dimCoeffs.assign(total, 0);
     eq.dimCoeffs[d] = 1;
     eq.dimCoeffs[n + d] = -read.coeffs[d];
-    eq.paramPart = pb::ParamExpr(-read.offsets[d]);
+    eq.paramPart = pb::ParamExpr(0) - read.offsets[d];
     eq.kind = pb::Constraint::Kind::EQ;
     map.add(std::move(eq));
   }

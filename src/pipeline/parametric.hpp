@@ -36,10 +36,11 @@ struct ParamRectStatement {
   pb::ParamSet domain(const std::vector<std::string>& dimNames = {}) const;
 };
 
-/// A separable strided read: subscript_d = coeff_d * j_d + offset_d.
+/// A separable strided read: subscript_d = coeff_d * j_d + offset_d. The
+/// offsets may be parameter-affine (constants convert implicitly).
 struct SeparableRead {
-  std::vector<pb::Value> coeffs;  // all >= 1
-  std::vector<pb::Value> offsets; // >= 0
+  std::vector<pb::Value> coeffs;     // all >= 1
+  std::vector<pb::ParamExpr> offsets;
 };
 
 /// The closed-form symbolic pipeline map. Throws on malformed input

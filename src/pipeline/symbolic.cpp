@@ -1,5 +1,6 @@
 #include "pipeline/symbolic.hpp"
 
+#include "pipeline/lattice.hpp"
 #include "support/assert.hpp"
 
 #include <algorithm>
@@ -121,6 +122,174 @@ std::optional<pb::IntMap> trySymbolicPipelineMap(const scop::Scop& scop,
     tPairs.emplace_back(hPairs[k].second, hPairs[k].first);
   }
   return pb::IntMap(src.space(), tgt.space(), std::move(tPairs));
+}
+
+const char* toString(ParametricFallback f) {
+  switch (f) {
+  case ParametricFallback::None:
+    return "none";
+  case ParametricFallback::NoSharedArray:
+    return "no_shared_array";
+  case ParametricFallback::MultipleReads:
+    return "multiple_reads";
+  case ParametricFallback::NonIdentityWrite:
+    return "non_identity_write";
+  case ParametricFallback::AuxRead:
+    return "aux_read";
+  case ParametricFallback::NonSeparableRead:
+    return "non_separable_read";
+  case ParametricFallback::NonMonotoneRead:
+    return "non_monotone_read";
+  case ParametricFallback::NonRectangularDomain:
+    return "non_rectangular_domain";
+  case ParametricFallback::kCount:
+    break;
+  }
+  PIPOLY_UNREACHABLE("bad ParametricFallback");
+}
+
+namespace {
+
+/// A domain is a full rectangle exactly when it fills its bounding box.
+bool isRectangle(const pb::IntTupleSet& domain,
+                 const std::vector<pb::DimBounds>& box) {
+  pb::Value cells = 1;
+  for (const pb::DimBounds& b : box)
+    cells *= b.upper - b.lower + 1;
+  return static_cast<pb::Value>(domain.size()) == cells;
+}
+
+} // namespace
+
+SeparablePairShape classifySeparablePair(const scop::Scop& scop,
+                                         std::size_t srcIdx,
+                                         std::size_t tgtIdx) {
+  SeparablePairShape shape;
+  const scop::Statement& src = scop.statement(srcIdx);
+  const scop::Statement& tgt = scop.statement(tgtIdx);
+
+  // Exactly one array written by the source and read by the target,
+  // through exactly one read access.
+  const scop::Access* read = nullptr;
+  std::size_t sharedArrays = 0, sharedReads = 0, sharedArrayId = 0;
+  for (std::size_t arrayId : scop.arraysWrittenBy(srcIdx)) {
+    std::size_t readsOfArray = 0;
+    for (const scop::Access& r : tgt.reads())
+      if (r.arrayId == arrayId) {
+        ++readsOfArray;
+        read = &r;
+      }
+    if (readsOfArray > 0) {
+      ++sharedArrays;
+      sharedArrayId = arrayId;
+      sharedReads += readsOfArray;
+    }
+  }
+  if (sharedArrays == 0) {
+    shape.fallback = ParametricFallback::NoSharedArray;
+    return shape;
+  }
+  if (sharedArrays > 1 || sharedReads > 1) {
+    shape.fallback = ParametricFallback::MultipleReads;
+    return shape;
+  }
+  for (const scop::Access& w : src.writes())
+    if (w.arrayId == sharedArrayId && !isIdentityWrite(src, w)) {
+      shape.fallback = ParametricFallback::NonIdentityWrite;
+      return shape;
+    }
+  if (read->numAuxDims() != 0) {
+    shape.fallback = ParametricFallback::AuxRead;
+    return shape;
+  }
+
+  // Separable monotone read: subscript_d = c_d * j_d + o_d, c_d >= 1.
+  const std::size_t n = src.depth();
+  if (n == 0 || tgt.depth() != n || read->subscripts.numOutputs() != n) {
+    shape.fallback = ParametricFallback::NonSeparableRead;
+    return shape;
+  }
+  shape.coeffs.reserve(n);
+  shape.offsets.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    const pb::AffineExpr& e = read->subscripts.output(d);
+    for (std::size_t k = 0; k < e.numDims(); ++k)
+      if (k != d && e.coeff(k) != 0) {
+        shape.fallback = ParametricFallback::NonSeparableRead;
+        return shape;
+      }
+    if (e.coeff(d) < 1) {
+      shape.fallback = ParametricFallback::NonMonotoneRead;
+      return shape;
+    }
+    shape.coeffs.push_back(e.coeff(d));
+    shape.offsets.push_back(e.constantTerm());
+  }
+
+  // Full-rectangle domains (empty domains are trivially fine: no map).
+  if (src.domain().empty() || tgt.domain().empty()) {
+    shape.vacuous = true;
+    return shape;
+  }
+  shape.srcBox = src.domain().rectangularHull();
+  shape.tgtBox = tgt.domain().rectangularHull();
+  if (!isRectangle(src.domain(), shape.srcBox) ||
+      !isRectangle(tgt.domain(), shape.tgtBox)) {
+    shape.fallback = ParametricFallback::NonRectangularDomain;
+    shape.srcBox.clear();
+    shape.tgtBox.clear();
+    return shape;
+  }
+  return shape;
+}
+
+pb::IntMap separablePipelineMap(const scop::Scop& scop, std::size_t srcIdx,
+                                std::size_t tgtIdx,
+                                const SeparablePairShape& shape) {
+  PIPOLY_CHECK(shape.ok());
+  const scop::Statement& src = scop.statement(srcIdx);
+  const scop::Statement& tgt = scop.statement(tgtIdx);
+  pb::IntMap empty(src.space(), tgt.space());
+  if (shape.vacuous)
+    return empty;
+
+  // The readers rectangle R: the target box clipped per dimension by the
+  // preimage of the source box under j_d -> c_d*j_d + o_d. This is
+  // exactly { j : j in Dom(T), c⊙j+o in Dom(S) } — srcDomain.contains of
+  // the legacy path, resolved in closed form.
+  const std::size_t n = shape.coeffs.size();
+  std::vector<pb::Value> lo(n), hi(n);
+  std::size_t count = 1;
+  for (std::size_t d = 0; d < n; ++d) {
+    const pb::Value c = shape.coeffs[d], o = shape.offsets[d];
+    lo[d] = std::max(shape.tgtBox[d].lower,
+                     ceilDiv(shape.srcBox[d].lower - o, c));
+    hi[d] = std::min(shape.tgtBox[d].upper,
+                     floorDiv(shape.srcBox[d].upper - o, c));
+    if (lo[d] > hi[d])
+      return empty; // no read hits the written region: no dependence
+    count *= static_cast<std::size_t>(hi[d] - lo[d] + 1);
+  }
+
+  // T = { c⊙j+o -> j : j in R }. j runs in lexicographic order and
+  // j -> c⊙j+o preserves it (c_d >= 1), so the rows come out sorted.
+  pb::RowBuffer data;
+  data.reserve(count * 2 * n);
+  std::vector<pb::Value> j = lo;
+  for (;;) {
+    for (std::size_t d = 0; d < n; ++d)
+      data.push_back(shape.coeffs[d] * j[d] + shape.offsets[d]);
+    data.insert(data.end(), j.begin(), j.end());
+    std::size_t d = n;
+    while (d-- > 0) {
+      if (++j[d] <= hi[d])
+        break;
+      j[d] = lo[d];
+      if (d == 0)
+        return pb::IntMap::fromSortedRows(src.space(), tgt.space(),
+                                          std::move(data));
+    }
+  }
 }
 
 } // namespace pipoly::pipeline

@@ -19,6 +19,7 @@
 #include "scop/scop.hpp"
 
 #include <optional>
+#include <vector>
 
 namespace pipoly::pipeline {
 
@@ -31,5 +32,63 @@ std::optional<pb::IntMap> trySymbolicPipelineMap(const scop::Scop& scop,
 /// True when the source/target pair satisfies the fast-path conditions.
 bool symbolicPipelineApplies(const scop::Scop& scop, std::size_t srcIdx,
                              std::size_t tgtIdx);
+
+// ---------------------------------------------------------------------
+// The parametric-first route (detect.hpp's ParametricMode): a stricter
+// shape than the per-point symbolic path above, in exchange for a fully
+// closed-form pipeline map. A pair qualifies when
+//
+//   * the target reads exactly one array the source writes, through
+//     exactly one access with no aux dims,
+//   * every source write of that array is the identity access,
+//   * the read is separable and monotone: subscript_d = c_d*j_d + o_d
+//     with c_d >= 1 (equal depths), and
+//   * both iteration domains are full rectangles.
+//
+// Then T = { c⊙j+o -> j : j in R } where R clips the target rectangle by
+// the preimage of the source rectangle — emitted directly in sorted row
+// order, no dependence test and no per-point requirement scan needed.
+// The result is bit-identical to trySymbolicPipelineMap / pipelineMap.
+
+/// Why classifySeparablePair rejected a pair (order matters: the first
+/// failing condition is reported, and detect's route counters index on
+/// these values).
+enum class ParametricFallback : unsigned char {
+  None = 0,             // shape accepted
+  NoSharedArray,        // vacuous pair: target reads nothing source writes
+  MultipleReads,        // several shared arrays or several reads of one
+  NonIdentityWrite,     // source write is not the identity access
+  AuxRead,              // the read has auxiliary dimensions
+  NonSeparableRead,     // coupled subscripts or mismatched depths
+  NonMonotoneRead,      // some per-dim coefficient < 1
+  NonRectangularDomain, // a domain is not a full rectangle
+  kCount
+};
+
+const char* toString(ParametricFallback f);
+
+/// The classified shape of a parametric-eligible pair. The coefficient,
+/// offset and inclusive-box fields are valid only when ok() and both
+/// domains are non-empty (`vacuous == false`).
+struct SeparablePairShape {
+  ParametricFallback fallback = ParametricFallback::None;
+  bool vacuous = false; // accepted, but a domain is empty: no map
+  std::vector<pb::Value> coeffs;  // c_d >= 1
+  std::vector<pb::Value> offsets; // o_d, any sign
+  std::vector<pb::DimBounds> srcBox, tgtBox; // inclusive per-dim bounds
+
+  bool ok() const { return fallback == ParametricFallback::None; }
+};
+
+SeparablePairShape classifySeparablePair(const scop::Scop& scop,
+                                         std::size_t srcIdx,
+                                         std::size_t tgtIdx);
+
+/// The closed-form pipeline map for an accepted shape. Empty when the
+/// pair has no dependence (the readers rectangle R is empty) — exactly
+/// the condition under which the legacy route finds no map.
+pb::IntMap separablePipelineMap(const scop::Scop& scop, std::size_t srcIdx,
+                                std::size_t tgtIdx,
+                                const SeparablePairShape& shape);
 
 } // namespace pipoly::pipeline

@@ -1,0 +1,66 @@
+#include "scop/param_scop.hpp"
+
+#include "scop/builder.hpp"
+#include "support/assert.hpp"
+
+namespace pipoly::scop {
+
+std::size_t ParamScop::addArray(ParamArray array) {
+  arrays_.push_back(std::move(array));
+  return arrays_.size() - 1;
+}
+
+std::size_t ParamScop::addStatement(ParamStatement stmt) {
+  PIPOLY_CHECK_MSG(stmt.depth() > 0, "parametric statement needs depth >= 1");
+  auto checkAccess = [&](const ParamAccess& a) {
+    PIPOLY_CHECK_MSG(a.arrayId < arrays_.size(), "access to unknown array");
+    PIPOLY_CHECK_MSG(a.rank() == arrays_[a.arrayId].shape.size(),
+                     "access rank must match the array rank");
+    PIPOLY_CHECK_MSG(a.offsets.size() == a.rank(),
+                     "one offset per subscript");
+    for (const std::vector<pb::Value>& row : a.coeffs)
+      PIPOLY_CHECK_MSG(row.size() == stmt.depth(),
+                       "subscript coefficients must cover every dim");
+  };
+  for (const ParamAccess& a : stmt.writes)
+    checkAccess(a);
+  for (const ParamAccess& a : stmt.reads)
+    checkAccess(a);
+  statements_.push_back(std::move(stmt));
+  return statements_.size() - 1;
+}
+
+Scop ParamScop::instantiate(const pb::ParamBindings& bindings) const {
+  ScopBuilder b(name_);
+  for (const ParamArray& a : arrays_) {
+    std::vector<pb::Value> shape;
+    shape.reserve(a.shape.size());
+    for (const pb::ParamExpr& e : a.shape)
+      shape.push_back(e.evaluate(bindings));
+    b.array(a.name, std::move(shape));
+  }
+  for (const ParamStatement& s : statements_) {
+    StatementBuilder sb = b.statement(s.name, s.depth());
+    for (std::size_t d = 0; d < s.depth(); ++d)
+      sb.bound(d, s.bounds[d].first.evaluate(bindings),
+               s.bounds[d].second.evaluate(bindings));
+    auto subscripts = [&](const ParamAccess& a) {
+      std::vector<pb::AffineExpr> subs;
+      subs.reserve(a.rank());
+      for (std::size_t r = 0; r < a.rank(); ++r) {
+        pb::AffineExpr e(s.depth(), a.offsets[r].evaluate(bindings));
+        for (std::size_t k = 0; k < s.depth(); ++k)
+          e.coeff(k) = a.coeffs[r][k];
+        subs.push_back(std::move(e));
+      }
+      return subs;
+    };
+    for (const ParamAccess& a : s.writes)
+      sb.write(a.arrayId, subscripts(a));
+    for (const ParamAccess& a : s.reads)
+      sb.read(a.arrayId, subscripts(a));
+  }
+  return b.build();
+}
+
+} // namespace pipoly::scop

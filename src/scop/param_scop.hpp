@@ -1,0 +1,86 @@
+#pragma once
+
+// A SCoP whose sizes stay symbolic. The explicit scop::Scop materialises
+// every iteration domain at construction (an IntTupleSet per statement),
+// which caps the N it can even represent; a ParamScop keeps the bounds,
+// array extents and access offsets as ParamExprs and lowers onto the
+// explicit representation only when a ParamBindings fixes the parameters.
+//
+// The shape mirrors the paper's program model (§1): consecutive
+// rectangular loop nests with affine accesses — subscripts are affine in
+// the iteration dims with parameter-affine constant terms. Division (the
+// N/2 bounds of Listing 1, the per-nest clipped bounds of the Table-9
+// suite) is modelled with derived parameters bound at instantiation,
+// exactly like presburger/param.hpp.
+//
+// This is the input of the N-independent detection route
+// (pipeline/param_detect.hpp): detectParametric() analyses a ParamScop
+// once, and its summaries are then O(1) per binding, while instantiate()
+// feeds the differential harness that proves the route bit-identical to
+// the explicit one at small N.
+
+#include "presburger/param.hpp"
+#include "scop/scop.hpp"
+
+#include <string>
+#include <vector>
+
+namespace pipoly::scop {
+
+/// An array with parameter-affine extents.
+struct ParamArray {
+  std::string name;
+  std::vector<pb::ParamExpr> shape;
+};
+
+/// One affine access with symbolic offsets:
+///   subscript_d = sum_k coeffs[d][k] * dim_k + offsets[d].
+struct ParamAccess {
+  std::size_t arrayId;
+  std::vector<std::vector<pb::Value>> coeffs; // [subscript][iteration dim]
+  std::vector<pb::ParamExpr> offsets;         // one per subscript
+
+  std::size_t rank() const { return coeffs.size(); }
+};
+
+/// A statement over a parametric rectangle: lo_d <= dim_d < hi_d.
+struct ParamStatement {
+  std::string name;
+  std::vector<std::pair<pb::ParamExpr, pb::ParamExpr>> bounds;
+  std::vector<ParamAccess> writes;
+  std::vector<ParamAccess> reads;
+
+  std::size_t depth() const { return bounds.size(); }
+};
+
+class ParamScop {
+public:
+  explicit ParamScop(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  std::size_t addArray(ParamArray array);
+  std::size_t addStatement(ParamStatement stmt);
+
+  const std::vector<ParamArray>& arrays() const { return arrays_; }
+  const std::vector<ParamStatement>& statements() const {
+    return statements_;
+  }
+  std::size_t numStatements() const { return statements_.size(); }
+  const ParamStatement& statement(std::size_t i) const {
+    return statements_.at(i);
+  }
+
+  /// Lowers onto the explicit representation: evaluates every extent,
+  /// bound and offset under `bindings` and materialises the domains
+  /// through ScopBuilder — same statement/array order and names, so the
+  /// result is interchangeable with a hand-built Scop.
+  Scop instantiate(const pb::ParamBindings& bindings) const;
+
+private:
+  std::string name_;
+  std::vector<ParamArray> arrays_;
+  std::vector<ParamStatement> statements_;
+};
+
+} // namespace pipoly::scop
