@@ -13,6 +13,13 @@
 // the task-graph optimizer (through the interned-slot executor), and the
 // three result fingerprints must agree. Exits non-zero on any mismatch.
 //
+// `--replay` runs experiment E19 instead: per Table-9 program, compare
+// rebuild-per-batch (compile + optimize + slot table + executeTaskProgram
+// for every batch) against compile-once + CompiledPipeline::replay per
+// batch. With `--smoke` it doubles as the CI gate: every fingerprint must
+// match the sequential run and the amortized per-batch replay cost must
+// be at least 5x cheaper than rebuild-per-batch (exit non-zero otherwise).
+//
 // `--trace=FILE` traces the run (compile spans, per-task worker spans,
 // pool park/steal events) and writes Chrome Trace Event JSON.
 
@@ -25,10 +32,12 @@
 #include "opt/optimizer.hpp"
 #include "sim/calibrate.hpp"
 #include "tasking/executor.hpp"
+#include "tasking/replay_executor.hpp"
 #include "tasking/tracing_layer.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -95,6 +104,108 @@ int runSmoke() {
   return failures == 0 ? 0 : 1;
 }
 
+/// Experiment E19: amortized replay vs. rebuild-per-batch. In smoke mode
+/// this is a CI gate — fingerprints must match the sequential run and the
+/// amortized speedup must clear 5x on every Table-9 program.
+int runReplay(bool smoke) {
+  const pb::Value n = smoke ? 10 : 12;
+  const int size = 1;
+  const std::size_t batches = smoke ? 20 : 50;
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  std::printf("== E19: compile-once replay vs rebuild-per-batch "
+              "(N=%lld, SIZE=%d, batches=%zu, threads=%u) ==\n",
+              static_cast<long long>(n), size, batches, hw);
+
+  bench::Table table({"prog", "rebuild_ms_per_batch", "replay_ms_per_batch",
+                      "amortized_speedup", "status"});
+  int failures = 0;
+
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, n);
+
+    // Correctness half: replay must be bit-identical to the sequential
+    // and rebuild-per-batch runs with the real compute kernel.
+    auto layer = tasking::makeThreadPoolBackend(hw);
+    kernels::SuiteRunner runner(spec, scop, size);
+    tasking::executeSequential(scop, runner.executor());
+    const std::uint64_t seqFp = runner.fingerprint();
+    bool fingerprintsOk = true;
+    {
+      codegen::TaskProgram prog = codegen::compilePipeline(scop);
+      opt::optimize(prog);
+      const opt::SlotTable slots = opt::buildSlotTable(prog);
+      runner.reset();
+      tasking::executeTaskProgram(prog, slots, *layer, runner.executor());
+      fingerprintsOk = fingerprintsOk && runner.fingerprint() == seqFp;
+      tasking::CompiledPipeline check(
+          std::move(prog), tasking::CompiledPipeline::Options{hw, true});
+      for (int rep = 0; rep < 3; ++rep) {
+        runner.reset();
+        check.replay(runner.executor());
+        fingerprintsOk = fingerprintsOk && runner.fingerprint() == seqFp;
+      }
+    }
+
+    // Timing half: E19 measures the per-batch *orchestration* cost, so
+    // the statement body is a near-free counter — with the real kernel
+    // installed both sides are dominated by identical compute and the
+    // overhead difference disappears into it.
+    std::atomic<std::uint64_t> instances{0};
+    const tasking::StatementExecutor counting =
+        [&](std::size_t, const pb::Tuple&) {
+          instances.fetch_add(1, std::memory_order_relaxed);
+        };
+
+    // Rebuild-per-batch: the full compile pipeline runs for every batch,
+    // exactly what a caller without CompiledPipeline has to do today.
+    Stopwatch rebuildWatch;
+    for (std::size_t b = 0; b < batches; ++b) {
+      codegen::TaskProgram prog = codegen::compilePipeline(scop);
+      opt::optimize(prog);
+      const opt::SlotTable slots = opt::buildSlotTable(prog);
+      tasking::executeTaskProgram(prog, slots, *layer, counting);
+    }
+    const double rebuild = rebuildWatch.seconds();
+    const std::uint64_t rebuildInstances = instances.exchange(0);
+
+    // Compile once, replay per batch. The one-time compile is charged to
+    // the replay side so the reported speedup is honestly amortized.
+    Stopwatch replayWatch;
+    codegen::TaskProgram prog = codegen::compilePipeline(scop);
+    opt::optimize(prog);
+    auto shared =
+        std::make_shared<const codegen::TaskProgram>(std::move(prog));
+    const opt::SlotTable slots = opt::buildSlotTable(*shared);
+    tasking::CompiledPipeline pipe(
+        shared, slots, tasking::CompiledPipeline::Options{hw, true});
+    for (std::size_t b = 0; b < batches; ++b)
+      pipe.replay(counting);
+    const double replay = replayWatch.seconds();
+    fingerprintsOk =
+        fingerprintsOk && instances.load() == rebuildInstances; // same work
+
+    const double speedup = replay > 0 ? rebuild / replay : 0.0;
+    const bool gated = smoke && speedup < 5.0;
+    const bool ok = fingerprintsOk && !gated;
+    failures += ok ? 0 : 1;
+    table.addRow({spec.name,
+                  bench::fmt(rebuild * 1e3 / static_cast<double>(batches), 3),
+                  bench::fmt(replay * 1e3 / static_cast<double>(batches), 3),
+                  bench::fmt(speedup),
+                  ok ? "ok"
+                     : (!fingerprintsOk ? "FAIL (fingerprint)"
+                                        : "FAIL (< 5x)")});
+  }
+  table.print();
+  if (smoke)
+    std::printf("%s\n",
+                failures == 0
+                    ? "replay smoke PASS: bit-identical and >= 5x cheaper "
+                      "amortized on all programs"
+                    : "replay smoke FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 /// Stops `session` and writes its trace to `path` (no-op on empty path).
 int dumpTrace(trace::Session& session, const std::string& path) {
   if (path.empty())
@@ -114,10 +225,13 @@ int dumpTrace(trace::Session& session, const std::string& path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool replay = false;
   std::string tracePath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
+    else if (std::strcmp(argv[i], "--replay") == 0)
+      replay = true;
     else if (std::strncmp(argv[i], "--trace=", 8) == 0)
       tracePath = argv[i] + 8;
   }
@@ -126,6 +240,12 @@ int main(int argc, char** argv) {
   if (!tracePath.empty()) {
     trace::setThreadName("main");
     session.start();
+  }
+
+  if (replay) {
+    const int rc = runReplay(smoke);
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
   }
 
   if (smoke) {

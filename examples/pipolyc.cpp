@@ -21,6 +21,10 @@
 //     --param X=V   override a declared parameter (repeatable)
 //     --verify      execute the task program with interpreted bodies on
 //                   the thread-pool backend and check against sequential
+//     --replay=N    compile the program once into a CompiledPipeline and
+//                   replay it N times with interpreted bodies, checking
+//                   every run against the sequential fingerprint; prints
+//                   total/per-replay timing and the executor stats
 //     --tune N      sweep task-granularity factors on N simulated workers
 //                   and report the best (the §7 granularity question)
 //     --trace=FILE  trace the whole run (compile-phase spans, a real
@@ -55,12 +59,14 @@
 #include "sim/granularity_tuner.hpp"
 #include "sim/simulator.hpp"
 #include "tasking/executor.hpp"
+#include "tasking/replay_executor.hpp"
 #include "tasking/tracing_layer.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "verify/oracle.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -89,7 +95,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: pipolyc [--maps] [--tree] [--ast] [--tasks] [--dot] "
                "[--optimize] [--emit-c] [--simulate N] [--timeline N] "
-               "[--trace=FILE] [--metrics] [--detect-cache] "
+               "[--replay=N] [--trace=FILE] [--metrics] [--detect-cache] "
                "[--parametric=off|auto|force] [file]\n");
   return 2;
 }
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
   pipeline::DetectOptions detectOptions;
   bool routeStats = false;
   unsigned simulateWorkers = 0, timelineWorkers = 0, tuneWorkers = 0;
+  std::size_t replayRuns = 0;
   std::string path, tracePath;
   frontend::ParamOverrides params;
 
@@ -150,6 +157,12 @@ int main(int argc, char** argv) {
         return usage();
       routeStats = true;
     }
+    else if (arg.rfind("--replay=", 0) == 0) {
+      const long long runs = std::atoll(arg.c_str() + 9);
+      if (runs <= 0)
+        return usage();
+      replayRuns = static_cast<std::size_t>(runs);
+    }
     else if (arg.rfind("--trace=", 0) == 0) {
       tracePath = arg.substr(8);
       if (tracePath.empty())
@@ -179,7 +192,7 @@ int main(int argc, char** argv) {
   if (!maps && !tree && !astOut && !annotated && !tasks && !dot && !json &&
       !report && !emitC && !verifyRun && !optimizeRun && !metricsOut &&
       tracePath.empty() && simulateWorkers == 0 && timelineWorkers == 0 &&
-      tuneWorkers == 0)
+      tuneWorkers == 0 && replayRuns == 0)
     maps = astOut = true; // sensible default
 
   std::string source = kDemoProgram;
@@ -294,6 +307,36 @@ int main(int argc, char** argv) {
                         : "FAIL: fingerprint mismatch",
                   vr.backend.c_str());
       if (!vr.ok)
+        return 1;
+    }
+
+    if (replayRuns) {
+      // Compile once into the persistent replay executor, then run the
+      // program N times against the interpreted oracle.
+      const std::uint64_t expected = verify::sequentialFingerprint(scop);
+      auto shared = std::make_shared<const codegen::TaskProgram>(prog);
+      tasking::CompiledPipeline pipe(shared);
+      verify::InterpretedKernel kernel(scop);
+      std::size_t mismatches = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < replayRuns; ++r) {
+        kernel.reset();
+        pipe.replay(kernel.executor());
+        if (kernel.fingerprint() != expected) ++mismatches;
+      }
+      const double total =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::printf("== replay (%zu runs, %u threads%s) ==\n"
+                  "%s: %zu/%zu runs matched the sequential fingerprint\n"
+                  "total %.3f ms, %.3f ms/replay\n\n",
+                  replayRuns, pipe.numThreads(),
+                  pipe.linear() ? ", linear fast path" : "",
+                  mismatches == 0 ? "PASS" : "FAIL", replayRuns - mismatches,
+                  replayRuns, total * 1e3,
+                  total * 1e3 / static_cast<double>(replayRuns));
+      if (mismatches != 0)
         return 1;
     }
 

@@ -61,6 +61,13 @@ struct ProgramCounts {
   std::size_t inEdges = 0;
 };
 
+/// Lifetime: consumers that defer execution (the tasking executor's launch
+/// records, tasking::CompiledPipeline) hold raw `const Task*` pointers into
+/// `tasks`. The vector is stable once lowering returns — nothing appends to
+/// a finished program — but the TaskProgram object itself must outlive any
+/// such consumer. executeTaskProgram only needs it alive for the duration
+/// of the call; CompiledPipeline takes shared ownership instead so replay
+/// handles can outlive the caller's scope (see tasking/replay_executor.hpp).
 struct TaskProgram {
   std::vector<Task> tasks; // creation order: statement order, blocks lex
   std::size_t numStatements = 0;

@@ -208,6 +208,25 @@ OptimizeStats optimize(codegen::TaskProgram& program,
   return stats;
 }
 
+bool SlotTable::compatibleWith(const codegen::TaskProgram& program) const {
+  const std::size_t n = program.tasks.size();
+  if (numSlots != n || inOffsets.size() != n + 1)
+    return false;
+  if (!inOffsets.empty() &&
+      (inOffsets.front() != 0 || inOffsets.back() != inSlots.size()))
+    return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (inOffsets[i] > inOffsets[i + 1])
+      return false;
+    if (inCount(i) != program.tasks[i].in.size())
+      return false;
+    for (const std::uint32_t* s = inBegin(i); s != inEnd(i); ++s)
+      if (*s >= i)
+        return false;
+  }
+  return true;
+}
+
 SlotTable buildSlotTable(const codegen::TaskProgram& program) {
   trace::Span span("opt.slot_table");
   PredLists lists = resolvePredecessors(program);

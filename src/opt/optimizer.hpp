@@ -100,6 +100,14 @@ struct SlotTable {
   std::size_t inCount(std::size_t id) const {
     return inOffsets[id + 1] - inOffsets[id];
   }
+
+  /// True when this table could have been built from `program`: one slot
+  /// per task, per-task dependency counts matching, and every interned
+  /// producer slot naming an *earlier* task. O(tasks + edges). Lets a
+  /// table built once be reused across executions (the slot-table
+  /// executeTaskProgram overload and CompiledPipeline both check this
+  /// instead of rebuilding the table per run).
+  bool compatibleWith(const codegen::TaskProgram& program) const;
 };
 
 /// Interns every (idx, tag) pair of the program. O(tasks + edges).

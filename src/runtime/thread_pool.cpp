@@ -51,6 +51,59 @@ std::optional<unsigned> parseWakeCap(const char* text) {
   return static_cast<unsigned>(v);
 }
 
+ReplayGraph::NodeId ReplayGraph::addNode(std::span<const NodeId> deps) {
+  PIPOLY_CHECK_MSG(!frozen_, "ReplayGraph::addNode after freeze()");
+  const auto id = static_cast<NodeId>(buildPreds_.size());
+  PIPOLY_CHECK_MSG(buildPreds_.size() < UINT32_MAX, "ReplayGraph too large");
+  for (NodeId dep : deps)
+    PIPOLY_CHECK_MSG(dep < id,
+                     "ReplayGraph dependency on a not-yet-added node");
+  buildPreds_.emplace_back(deps.begin(), deps.end());
+  return id;
+}
+
+void ReplayGraph::freeze() {
+  PIPOLY_CHECK_MSG(!frozen_, "ReplayGraph::freeze called twice");
+  const std::size_t n = buildPreds_.size();
+  predOffsets_.reserve(n + 1);
+  predOffsets_.push_back(0);
+  std::vector<std::uint32_t> succCount(n, 0);
+  for (const std::vector<NodeId>& deps : buildPreds_) {
+    for (NodeId dep : deps) {
+      preds_.push_back(dep);
+      ++succCount[dep];
+    }
+    predOffsets_.push_back(static_cast<std::uint32_t>(preds_.size()));
+  }
+  succOffsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    succOffsets_[i + 1] = succOffsets_[i] + succCount[i];
+  succs_.resize(preds_.size());
+  std::vector<std::uint32_t> cursor(succOffsets_.begin(),
+                                    succOffsets_.begin() +
+                                        static_cast<std::ptrdiff_t>(n));
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::uint32_t k = predOffsets_[v]; k < predOffsets_[v + 1]; ++k)
+      succs_[cursor[preds_[k]]++] = static_cast<NodeId>(v);
+
+  indegFirst_.resize(n);
+  indegSteady_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t nPreds = predOffsets_[v + 1] - predOffsets_[v];
+    const std::uint32_t nSuccs = succOffsets_[v + 1] - succOffsets_[v];
+    indegFirst_[v] = nPreds;
+    // Later batches additionally wait for the node's own previous batch
+    // (+1) and for each direct consumer's previous batch (anti edges).
+    indegSteady_[v] = nPreds + nSuccs + 1;
+    if (nPreds == 0)
+      roots_.push_back(static_cast<NodeId>(v));
+  }
+  counters_ = std::make_unique<Counters[]>(n);
+  buildPreds_.clear();
+  buildPreds_.shrink_to_fit();
+  frozen_ = true;
+}
+
 DependencyThreadPool::DepEdge* DependencyThreadPool::sealedTag() {
   // Distinct, never-dereferenced sentinel marking a finished task's
   // dependent list.
@@ -190,6 +243,10 @@ void DependencyThreadPool::makeReady(TaskId id) {
 }
 
 void DependencyThreadPool::runTask(TaskId id) {
+  if (id & kGraphFlag) {
+    runGraphTask(id);
+    return;
+  }
   Node& node = nodes_[id];
   // Release the closure eagerly: nodes live for the pool's lifetime,
   // captured state should not.
@@ -222,6 +279,108 @@ void DependencyThreadPool::finishTask(TaskId id) {
     std::lock_guard lock(doneMutex_);
     doneCv_.notify_all();
   }
+}
+
+void DependencyThreadPool::sendGraphToken(ReplayGraph& graph,
+                                          ReplayGraph::NodeId node,
+                                          std::size_t batch) {
+  std::atomic<std::uint32_t>& counter = graph.counters_[node].slot[batch & 1];
+  if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    makeReady(encodeGraphTask(node, batch));
+}
+
+void DependencyThreadPool::runGraphTask(TaskId id) {
+  const auto node = static_cast<ReplayGraph::NodeId>(id & 0xffffffffu);
+  const std::size_t batch = (id & ~kGraphFlag) >> 32;
+  ReplayGraph& graph = *graph_;
+
+  // Re-arm this node's parity slot for batch + 2 before the body runs:
+  // every decrement of that slot happens-after this execution finished
+  // (the earliest candidates — our own batch+1 self token, a consumer's
+  // batch+1 anti token, a producer's batch+2 pred token — all sit behind
+  // the self token this execution emits below), so the relaxed store
+  // cannot race a token.
+  if (batch + 2 < graphBatches_)
+    graph.counters_[node].slot[batch & 1].store(graph.indegSteady_[node],
+                                                std::memory_order_relaxed);
+
+  try {
+    graphBody_(graphContext_, node, batch);
+  } catch (...) {
+    std::lock_guard lock(errorMutex_);
+    if (!firstError_)
+      firstError_ = std::current_exception();
+  }
+
+  // Token emission (see ReplayGraph's constraint list). A failed body
+  // still releases its dependents — errors are reported, never used to
+  // cancel the stream.
+  for (std::uint32_t k = graph.succOffsets_[node];
+       k < graph.succOffsets_[node + 1]; ++k)
+    sendGraphToken(graph, graph.succs_[k], batch);
+  if (batch + 1 < graphBatches_) {
+    sendGraphToken(graph, node, batch + 1); // self (write-after-write)
+    for (std::uint32_t k = graph.predOffsets_[node];
+         k < graph.predOffsets_[node + 1]; ++k)
+      sendGraphToken(graph, graph.preds_[k], batch + 1); // anti
+  }
+
+  if (graphRemaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Empty critical section pairs with runGraph()'s predicate check so
+    // the notify cannot slip between its load and its sleep.
+    std::lock_guard lock(doneMutex_);
+    doneCv_.notify_all();
+  }
+}
+
+void DependencyThreadPool::runGraph(ReplayGraph& graph, std::size_t numBatches,
+                                    ReplayGraph::Body body, void* context) {
+  PIPOLY_CHECK_MSG(graph.frozen_, "runGraph on an unfrozen ReplayGraph");
+  PIPOLY_CHECK_MSG(tlsBinding.pool != this,
+                   "runGraph from inside a task body would deadlock");
+  PIPOLY_CHECK_MSG(graph_ == nullptr, "concurrent runGraph on one pool");
+  PIPOLY_CHECK_MSG(numBatches <= kMaxGraphBatches, "too many batches");
+  const std::size_t n = graph.size();
+  if (n == 0 || numBatches == 0)
+    return;
+
+  // Reset the ready counters — the whole per-run cost of the graph.
+  for (std::size_t v = 0; v < n; ++v) {
+    graph.counters_[v].slot[0].store(graph.indegFirst_[v],
+                                     std::memory_order_relaxed);
+    graph.counters_[v].slot[1].store(
+        numBatches > 1 ? graph.indegSteady_[v] : 0,
+        std::memory_order_relaxed);
+  }
+  graph_ = &graph;
+  graphBody_ = body;
+  graphContext_ = context;
+  graphBatches_ = numBatches;
+  graphRemaining_.store(n * numBatches, std::memory_order_relaxed);
+
+  // Publish: the injection-shard mutex inside makeReady orders all the
+  // plain stores above before any worker touches a graph task.
+  for (ReplayGraph::NodeId root : graph.roots_)
+    makeReady(encodeGraphTask(root, 0));
+
+  {
+    std::unique_lock lock(doneMutex_);
+    doneCv_.wait(lock, [&] {
+      return graphRemaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  graph_ = nullptr;
+  graphBody_ = nullptr;
+  graphContext_ = nullptr;
+  graphBatches_ = 0;
+
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(errorMutex_);
+    error = std::exchange(firstError_, nullptr);
+  }
+  if (error)
+    std::rethrow_exception(error);
 }
 
 bool DependencyThreadPool::tryDrainInjection(unsigned self, std::size_t shard,

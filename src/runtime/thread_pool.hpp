@@ -72,6 +72,70 @@ namespace pipoly::rt {
 /// default stands.
 std::optional<unsigned> parseWakeCap(const char* text);
 
+/// A dependency graph frozen for repeated execution. Built once (addNode
+/// with predecessor ids, then freeze()), it can be run any number of
+/// times through DependencyThreadPool::runGraph: each run only resets the
+/// per-node atomic ready counters — no node allocation, no dependency
+/// registration, no closure churn. This is the pool-level substrate of
+/// the tasking::CompiledPipeline replay executor.
+///
+/// Streaming runs (numBatches > 1) pipeline consecutive batches
+/// Pipeflow-style. Batch b+1 of node n may start once
+///   * n's in-batch predecessors finished batch b+1,
+///   * n itself finished batch b (the write-after-write self edge), and
+///   * n's direct in-batch successors finished batch b (the
+///     write-after-read anti edge: n's next batch overwrites data its
+///     consumers may still be reading).
+/// The anti edges bound the batch skew between adjacent stages to one,
+/// which is exactly what makes the two-slot (batch-parity) counter
+/// scheme race-free: a node's counter slot for batch b+2 is re-armed
+/// when batch b fires, and every possible decrement of that slot
+/// happens-after batch b finished (see runGraph's implementation notes).
+class ReplayGraph {
+public:
+  using NodeId = std::uint32_t;
+  /// The node body: invoked as body(context, node, batch). The context is
+  /// the pointer passed to runGraph, so one frozen graph can execute
+  /// different payloads across runs.
+  using Body = void (*)(void* context, NodeId node, std::size_t batch);
+
+  /// Adds a node depending on the given earlier nodes (every id must come
+  /// from a previous addNode — creation order is the topological order).
+  /// Must be called before freeze().
+  NodeId addNode(std::span<const NodeId> deps);
+
+  /// Seals the graph: builds the flat successor/predecessor lists, the
+  /// ready-count templates and the counter storage. Required before the
+  /// first runGraph; addNode afterwards throws.
+  void freeze();
+
+  bool frozen() const { return frozen_; }
+  std::size_t size() const { return predOffsets_.empty() ? buildPreds_.size()
+                                                         : predOffsets_.size() - 1; }
+  std::size_t numEdges() const { return preds_.size(); }
+
+private:
+  friend class DependencyThreadPool;
+
+  /// Two ready counters per node (batch parity), cacheline-separated so
+  /// token traffic for different nodes never false-shares.
+  struct alignas(64) Counters {
+    std::atomic<std::uint32_t> slot[2];
+  };
+
+  // Build-time state (cleared by freeze()).
+  std::vector<std::vector<NodeId>> buildPreds_;
+
+  // Frozen CSR adjacency + ready-count templates.
+  std::vector<NodeId> preds_, succs_;
+  std::vector<std::uint32_t> predOffsets_, succOffsets_;
+  std::vector<std::uint32_t> indegFirst_;  // batch 0: in-batch preds only
+  std::vector<std::uint32_t> indegSteady_; // batch >= 1: preds + succs + self
+  std::vector<NodeId> roots_;              // indegFirst == 0
+  std::unique_ptr<Counters[]> counters_;
+  bool frozen_ = false;
+};
+
 class DependencyThreadPool {
 public:
   using TaskId = std::size_t;
@@ -93,6 +157,20 @@ public:
   /// Blocks until every submitted task has finished. Rethrows the first
   /// exception thrown by a task body, if any.
   void waitAll();
+
+  /// Executes a frozen ReplayGraph `numBatches` times on the pool's
+  /// workers and blocks until every (node, batch) execution finished.
+  /// Per run the cost is one relaxed counter store per node plus the
+  /// token traffic along the edges — no submit(), no node allocation, no
+  /// dependent registration. Batches are pipelined under the constraints
+  /// documented on ReplayGraph. The first exception thrown by a body is
+  /// rethrown after the run drains (mirroring waitAll: a failed node's
+  /// dependents still execute).
+  ///
+  /// Contract: one graph run at a time per pool, never from inside a
+  /// task body, and no interleaved submit() traffic during the run.
+  void runGraph(ReplayGraph& graph, std::size_t numBatches,
+                ReplayGraph::Body body, void* context);
 
   unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -130,12 +208,25 @@ private:
     std::atomic<std::size_t> count{0};
   };
 
+  /// Graph executions travel through the same deques/injection shards as
+  /// ordinary tasks, distinguished by the top TaskId bit; the remaining
+  /// bits encode (batch, node). Ordinary slab ids never reach the flag.
+  static constexpr TaskId kGraphFlag = TaskId(1) << 63;
+  static constexpr std::size_t kMaxGraphBatches = std::size_t(1) << 30;
+
+  static TaskId encodeGraphTask(ReplayGraph::NodeId node, std::size_t batch) {
+    return kGraphFlag | (static_cast<TaskId>(batch) << 32) | node;
+  }
+
   static DepEdge* sealedTag();
   bool shouldWake(std::size_t searchingAllowance = 0) const;
   bool registerDependent(Node& pred, DepEdge& edge);
   void makeReady(TaskId id);
   void runTask(TaskId id);
   void finishTask(TaskId id);
+  void runGraphTask(TaskId id);
+  void sendGraphToken(ReplayGraph& graph, ReplayGraph::NodeId node,
+                      std::size_t batch);
   bool tryFindWork(unsigned self, TaskId& out);
   bool tryDrainInjection(unsigned self, std::size_t shard, TaskId& out);
   void workerLoop(unsigned index);
@@ -161,6 +252,16 @@ private:
   unsigned wakeCap_ = 1;
   std::mutex doneMutex_; // waitAll() parking, cold
   std::condition_variable doneCv_;
+
+  // Active runGraph() state. Written by the (single) runGraph caller
+  // before the roots are published and read by workers only while they
+  // hold a graph-flagged task, so the publication happens-before every
+  // read (injection-shard mutex / deque seq_cst handoff).
+  ReplayGraph* graph_ = nullptr;
+  ReplayGraph::Body graphBody_ = nullptr;
+  void* graphContext_ = nullptr;
+  std::size_t graphBatches_ = 0;
+  std::atomic<std::size_t> graphRemaining_{0};
 
   std::mutex errorMutex_;
   std::exception_ptr firstError_; // guarded by errorMutex_

@@ -1,28 +1,11 @@
 #include "tasking/executor.hpp"
 
 #include "support/assert.hpp"
+#include "tasking/task_launch.hpp"
 
 #include <vector>
 
 namespace pipoly::tasking {
-
-namespace {
-
-/// The per-task input structure handed through the void* CreateTask API
-/// (the paper integrates the task's arguments into a struct, §5.5).
-struct TaskLaunch {
-  const codegen::Task* task;
-  const StatementExecutor* exec;
-};
-
-/// The extracted task function: runs every iteration of one block.
-void runBlock(void* raw) {
-  const TaskLaunch& launch = *static_cast<TaskLaunch*>(raw);
-  for (const pb::Tuple& it : launch.task->iterations)
-    (*launch.exec)(launch.task->stmtIdx, it);
-}
-
-} // namespace
 
 void executeTaskProgram(const codegen::TaskProgram& program,
                         TaskingLayer& layer, const StatementExecutor& exec) {
@@ -36,9 +19,14 @@ void executeTaskProgram(const codegen::TaskProgram& program,
         inDepend.push_back(dep.tag);
         inIdx.push_back(dep.idx);
       }
-      TaskLaunch launch{&task, &exec};
-      layer.createTask(&runBlock, &launch, sizeof(TaskLaunch), task.out.tag,
-                       task.out.idx, inDepend.data(), inIdx.data(),
+      detail::TaskLaunch launch{&task, &exec};
+      // Empty in-dependency lists are normalized to valid zero-length
+      // arrays (task_launch.hpp) — data() of an empty vector may be null.
+      layer.createTask(&detail::runBlock, &launch, sizeof(detail::TaskLaunch),
+                       task.out.tag, task.out.idx,
+                       inDepend.empty() ? detail::kEmptyDepend
+                                        : inDepend.data(),
+                       inIdx.empty() ? detail::kEmptyIdx : inIdx.data(),
                        inDepend.size());
     }
   });
@@ -47,7 +35,7 @@ void executeTaskProgram(const codegen::TaskProgram& program,
 void executeTaskProgram(const codegen::TaskProgram& program,
                         const opt::SlotTable& slots, TaskingLayer& layer,
                         const StatementExecutor& exec) {
-  PIPOLY_CHECK_MSG(slots.numSlots == program.tasks.size(),
+  PIPOLY_CHECK_MSG(slots.compatibleWith(program),
                    "slot table does not match the task program");
   layer.run([&] {
     layer.reserveDependencySlots(slots.numSlots);
@@ -59,10 +47,16 @@ void executeTaskProgram(const codegen::TaskProgram& program,
            s != slots.inEnd(task.id); ++s)
         inDepend.push_back(static_cast<std::int64_t>(*s));
       inIdx.assign(inDepend.size(), 0);
-      TaskLaunch launch{&task, &exec};
-      layer.createTask(&runBlock, &launch, sizeof(TaskLaunch),
-                       static_cast<std::int64_t>(task.id), 0, inDepend.data(),
-                       inIdx.data(), inDepend.size());
+      detail::TaskLaunch launch{&task, &exec};
+      // Same normalization as the generic overload: a task with an empty
+      // interned in-dependency list must not hand possibly-null data()
+      // pointers to the backend.
+      layer.createTask(&detail::runBlock, &launch, sizeof(detail::TaskLaunch),
+                       static_cast<std::int64_t>(task.id), 0,
+                       inDepend.empty() ? detail::kEmptyDepend
+                                        : inDepend.data(),
+                       inIdx.empty() ? detail::kEmptyIdx : inIdx.data(),
+                       inDepend.size());
     }
   });
 }

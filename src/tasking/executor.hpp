@@ -20,6 +20,12 @@ using StatementExecutor =
 
 /// Runs the whole task program on the given backend. Blocks until every
 /// task finished.
+///
+/// Lifetime: the launch records handed to the backend carry raw pointers
+/// into `program` (and into `exec`); both must stay alive until the call
+/// returns. They may be destroyed afterwards — for repeated execution
+/// beyond the caller's scope use tasking::CompiledPipeline
+/// (replay_executor.hpp), which shares ownership of the program.
 void executeTaskProgram(const codegen::TaskProgram& program,
                         TaskingLayer& layer, const StatementExecutor& exec);
 

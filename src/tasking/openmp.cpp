@@ -3,6 +3,7 @@
 #include "support/assert.hpp"
 #include "support/hash.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -107,11 +108,51 @@ public:
 #pragma omp single
     spawner();
     inRegion_ = false;
+    // Reuse-or-release (mirrors the threadpool backend): clear for the
+    // next run, but release the backing storage once the retained
+    // capacity exceeds twice what this run used, so one oversized
+    // program does not pin its high-water memory across thousands of
+    // replays.
+    const std::size_t usedSlots = slots_.size();
+    const std::size_t usedIndex = slotIndex_.size();
+    const std::size_t usedFuncs = funcCount_.size();
+    const std::size_t usedFuncSlots = funcSlotIndex_.size();
+    const std::size_t usedDense = denseSlots_.size();
     slots_.clear();
     slotIndex_.clear();
     funcCount_.clear();
     funcSlotIndex_.clear();
     denseSlots_.clear();
+    if (slotsCapacity_ > 2 * std::max<std::size_t>(usedSlots, 64)) {
+      decltype(slots_)().swap(slots_);
+      slotsCapacity_ = 0;
+    }
+    slotsCapacity_ = std::max(slotsCapacity_, usedSlots);
+    if (slotIndex_.bucket_count() > 2 * std::max<std::size_t>(usedIndex, 16))
+      decltype(slotIndex_)().swap(slotIndex_);
+    if (funcCount_.bucket_count() > 2 * std::max<std::size_t>(usedFuncs, 16))
+      decltype(funcCount_)().swap(funcCount_);
+    if (funcSlotIndex_.bucket_count() >
+        2 * std::max<std::size_t>(usedFuncSlots, 16))
+      decltype(funcSlotIndex_)().swap(funcSlotIndex_);
+    if (denseSlots_.capacity() > 2 * std::max<std::size_t>(usedDense, 64))
+      decltype(denseSlots_)().swap(denseSlots_);
+  }
+
+  std::size_t retainedBytes() const override {
+    // std::deque exposes no capacity; the tracked high-water stands in.
+    return slotsCapacity_ * sizeof(char) +
+           denseSlots_.capacity() * sizeof(char) +
+           slotIndex_.bucket_count() *
+               (sizeof(void*) + sizeof(std::pair<const std::pair<int, std::int64_t>,
+                                                 std::size_t>)) +
+           funcCount_.bucket_count() *
+               (sizeof(void*) +
+                sizeof(std::pair<const TaskFunction, std::size_t>)) +
+           funcSlotIndex_.bucket_count() *
+               (sizeof(void*) +
+                sizeof(std::pair<const std::pair<TaskFunction, std::size_t>,
+                                 std::size_t>));
   }
 
 private:
@@ -136,6 +177,9 @@ private:
 
   bool funcCountOrdering_;
   bool inRegion_ = false;
+  // High-water element count of slots_ across runs (std::deque has no
+  // capacity(); this drives the reuse-or-release accounting instead).
+  std::size_t slotsCapacity_ = 0;
   std::deque<char> slots_;
   std::unordered_map<std::pair<int, std::int64_t>, std::size_t, PairHash>
       slotIndex_;

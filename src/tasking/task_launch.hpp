@@ -1,0 +1,47 @@
+#pragma once
+
+// Internal to src/tasking: the per-task launch record shared by the
+// one-shot executor (executor.cpp) and the replay executor
+// (replay_executor.cpp), plus the empty-dependency-list normalization.
+//
+// LIFETIME CONTRACT — TaskLaunch carries a *raw* `const codegen::Task*`
+// into the TaskProgram it was built from. The backend copies the launch
+// record (Fig. 8's memcpy), not the Task: the pointed-to Task — and
+// therefore the whole TaskProgram — must stay alive until the backend's
+// run() returns (parallel backends run bodies long after createTask).
+// Callers that outlive a single run() must own the program for as long
+// as launches exist: CompiledPipeline does so by holding a shared_ptr to
+// the program (a checked borrow at construction), which is what makes
+// replaying safe after the caller's own reference is gone.
+
+#include "codegen/task_program.hpp"
+#include "tasking/executor.hpp"
+
+#include <cstdint>
+
+namespace pipoly::tasking::detail {
+
+/// The per-task input structure handed through the void* CreateTask API
+/// (the paper integrates the task's arguments into a struct, §5.5).
+struct TaskLaunch {
+  const codegen::Task* task;
+  const StatementExecutor* exec;
+};
+
+/// The extracted task function: runs every iteration of one block.
+inline void runBlock(void* raw) {
+  const TaskLaunch& launch = *static_cast<TaskLaunch*>(raw);
+  for (const pb::Tuple& it : launch.task->iterations)
+    (*launch.exec)(launch.task->stmtIdx, it);
+}
+
+/// Normalization for tasks with no in-dependencies: `data()` of an empty
+/// vector may be null, and handing (nullptr, nullptr, 0) to a backend
+/// leaves the null pointers to flow into depend-clause address
+/// arithmetic (the OpenMP iterator clause evaluates its base array even
+/// for an empty range). Mirroring the zero-size input fix, an empty list
+/// is passed as valid zero-length arrays instead.
+inline constexpr std::int64_t kEmptyDepend[1] = {0};
+inline constexpr int kEmptyIdx[1] = {0};
+
+} // namespace pipoly::tasking::detail

@@ -67,6 +67,16 @@ public:
   /// Runs `spawner` inside the backend's parallel region and waits until
   /// every created task has finished.
   virtual void run(const std::function<void()>& spawner) = 0;
+
+  /// Approximate bytes of per-run bookkeeping (dependency-slot tables,
+  /// per-function counters, ...) the backend keeps allocated between
+  /// run() calls. Backends follow a reuse-or-release policy: capacity is
+  /// kept while it is within a small factor of what the last run used —
+  /// so steady-state replays allocate nothing — and released once a run
+  /// needs much less, so one oversized program does not pin its
+  /// high-water memory across thousands of later runs. Diagnostic
+  /// accounting only; 0 when the backend keeps no per-run state.
+  virtual std::size_t retainedBytes() const { return 0; }
 };
 
 std::unique_ptr<TaskingLayer> makeSerialBackend();

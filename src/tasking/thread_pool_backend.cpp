@@ -4,6 +4,7 @@
 #include "support/assert.hpp"
 #include "support/hash.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstring>
@@ -105,6 +106,14 @@ public:
     reset();
   }
 
+  std::size_t retainedBytes() const override {
+    return denseWriter_.capacity() * sizeof(rt::DependencyThreadPool::TaskId) +
+           lastWriter_.bucket_count() *
+               (sizeof(void*) +
+                sizeof(std::pair<const std::pair<int, std::int64_t>,
+                                 rt::DependencyThreadPool::TaskId>));
+  }
+
 private:
   struct InlinePayload {
     alignas(std::max_align_t) std::array<std::byte, 24> bytes;
@@ -120,8 +129,20 @@ private:
 
   void reset() {
     pool_ = nullptr;
+    // Reuse-or-release: clear() keeps the high-water capacity, which is
+    // what repeated same-shape runs want (no steady-state allocations),
+    // but would pin one oversized run's memory forever. Release the
+    // backing storage once the capacity exceeds twice what this run
+    // actually used (with a small floor so tiny runs keep their seed
+    // allocation).
+    const std::size_t usedHash = lastWriter_.size();
+    const std::size_t usedDense = denseWriter_.size();
     lastWriter_.clear();
     denseWriter_.clear();
+    if (lastWriter_.bucket_count() > 2 * std::max<std::size_t>(usedHash, 16))
+      decltype(lastWriter_)().swap(lastWriter_);
+    if (denseWriter_.capacity() > 2 * std::max<std::size_t>(usedDense, 64))
+      decltype(denseWriter_)().swap(denseWriter_);
   }
 
   unsigned numThreads_;

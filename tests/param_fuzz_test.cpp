@@ -228,8 +228,9 @@ TEST(ParamFuzz, ProgressionQueriesMatchMaterializedPoints) {
     const std::vector<pb::Value> pts = materialize(p);
 
     EXPECT_EQ(p.empty(), pts.empty());
-    if (!pts.empty())
+    if (!pts.empty()) {
       EXPECT_EQ(p.last(), pts.back());
+    }
 
     for (pb::Value v = p.first - 8; v <= p.first + p.stride * p.count + 8;
          ++v) {

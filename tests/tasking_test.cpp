@@ -1,6 +1,7 @@
 #include "tasking/tasking.hpp"
 
 #include "codegen/task_program.hpp"
+#include "opt/optimizer.hpp"
 #include "support/assert.hpp"
 #include "tasking/executor.hpp"
 #include "testing/fixtures.hpp"
@@ -261,6 +262,65 @@ TEST_P(EndToEndTest, PipelinedExecutionMatchesSequential) {
 
 INSTANTIATE_TEST_SUITE_P(Kernels, EndToEndTest,
                          ::testing::Values(0, 1, 2, 3));
+
+TEST(EndToEndTest, SlotExecutorHandlesEmptyDependencyLists) {
+  // Regression: the slot-table overload used to pass `.data()` of empty
+  // in-dependency vectors — possibly null — straight into createTask.
+  // Every program's root tasks have empty lists, so any backend that
+  // dereferences or UB-checks the pointers would trip here.
+  for (int which = 0; which < 2; ++which) {
+    scop::Scop scop = which == 0 ? testing::listing1(12) : testing::chain(3, 8);
+    codegen::TaskProgram prog = codegen::compilePipeline(scop);
+    const opt::SlotTable slots = opt::buildSlotTable(prog);
+    const std::uint64_t expected = testing::sequentialFingerprint(scop);
+    std::size_t rootTasks = 0;
+    for (const codegen::Task& t : prog.tasks)
+      if (t.in.empty()) ++rootTasks;
+    ASSERT_GT(rootTasks, 0u) << "fixture must exercise empty dep lists";
+    for (auto& layer : allBackends()) {
+      testing::InterpretedKernel kernel(scop);
+      executeTaskProgram(prog, slots, *layer, kernel.executor());
+      EXPECT_EQ(kernel.fingerprint(), expected) << layer->name();
+    }
+  }
+}
+
+TEST(TaskingLayerTest, PerRunStateIsReusedOrReleased) {
+  // Regression: per-run bookkeeping (last-writer tables, slot arrays,
+  // funcCount maps) was cleared but never shrunk, so one oversized run
+  // pinned its high-water allocation forever. Policy now: keep capacity
+  // while it matches the workload (steady-state runs allocate nothing),
+  // release it once a run uses far less.
+  auto noop = +[](void*) {};
+  for (auto& layer : allBackends()) {
+    auto runProgram = [&](std::int64_t numTasks) {
+      layer->run([&] {
+        for (std::int64_t k = 0; k < numTasks; ++k) {
+          std::int64_t inDep = k - 1;
+          int inIdx = 0;
+          layer->createTask(noop, nullptr, 0, k, 0, k > 0 ? &inDep : nullptr,
+                            k > 0 ? &inIdx : nullptr, k > 0 ? 1u : 0u);
+        }
+      });
+    };
+
+    runProgram(4000); // oversized run establishes a high-water mark
+    const std::size_t afterBig = layer->retainedBytes();
+
+    runProgram(16); // a far smaller run must trigger the release
+    const std::size_t afterSmall = layer->retainedBytes();
+    if (afterBig > 0) {
+      EXPECT_LT(afterSmall, afterBig) << layer->name();
+    }
+
+    // Steady state: identical runs must not change the footprint (the
+    // capacity is reused, not reallocated or released).
+    runProgram(16);
+    const std::size_t steady1 = layer->retainedBytes();
+    runProgram(16);
+    EXPECT_EQ(layer->retainedBytes(), steady1) << layer->name();
+  }
+}
 
 TEST(EndToEndTest, RepeatedRunsAreDeterministic) {
   scop::Scop scop = testing::listing3(12);

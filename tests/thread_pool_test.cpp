@@ -210,6 +210,163 @@ TEST(ThreadPoolTest, WakeCapParsingRejectsGarbage) {
   EXPECT_EQ(parseWakeCap("99999999999999999999"), std::nullopt); // overflow
 }
 
+// ---- ReplayGraph: the frozen reusable task graph behind CompiledPipeline.
+
+/// Shared observation state for graph bodies (plain function pointers).
+/// The probe keeps its own copy of the edge list — the frozen graph's
+/// adjacency is an implementation detail.
+struct GraphProbe {
+  // finished[node] = number of completed batches of that node.
+  std::vector<std::atomic<std::size_t>> finished;
+  std::vector<std::vector<ReplayGraph::NodeId>> preds;
+  std::atomic<bool> violation{false};
+  std::atomic<std::size_t> runs{0};
+
+  explicit GraphProbe(std::size_t n) : finished(n), preds(n) {}
+};
+
+/// Asserts the streaming constraints at entry: this node finished batch
+/// b-1 (write-after-write), and every predecessor finished batch b.
+void probeBody(void* context, ReplayGraph::NodeId node, std::size_t batch) {
+  auto* probe = static_cast<GraphProbe*>(context);
+  if (probe->finished[node].load() != batch)
+    probe->violation = true;
+  probe->runs.fetch_add(1);
+  probe->finished[node].fetch_add(1);
+}
+
+ReplayGraph diamondGraph() {
+  // 0 -> {1, 2} -> 3
+  ReplayGraph graph;
+  graph.addNode({});
+  const ReplayGraph::NodeId top[] = {0};
+  graph.addNode(top);
+  graph.addNode(top);
+  const ReplayGraph::NodeId mid[] = {1, 2};
+  graph.addNode(mid);
+  graph.freeze();
+  return graph;
+}
+
+TEST(ThreadPoolTest, ReplayGraphRunsDiamondRepeatedly) {
+  ReplayGraph graph = diamondGraph();
+  EXPECT_EQ(graph.size(), 4u);
+  EXPECT_EQ(graph.numEdges(), 4u);
+  DependencyThreadPool pool(4);
+  GraphProbe probe(4);
+  for (int run = 0; run < 50; ++run) {
+    for (auto& f : probe.finished)
+      f = 0;
+    pool.runGraph(graph, 1, &probeBody, &probe);
+    for (auto& f : probe.finished)
+      EXPECT_EQ(f.load(), 1u) << "run " << run;
+  }
+  EXPECT_FALSE(probe.violation.load());
+  EXPECT_EQ(probe.runs.load(), 200u);
+}
+
+/// Streaming body: additionally checks every predecessor finished this
+/// batch before we start (the per-batch dependency constraint).
+void streamBody(void* context, ReplayGraph::NodeId node, std::size_t batch) {
+  auto* probe = static_cast<GraphProbe*>(context);
+  if (probe->finished[node].load() != batch)
+    probe->violation = true;
+  for (ReplayGraph::NodeId pred : probe->preds[node])
+    if (probe->finished[pred].load() < batch + 1)
+      probe->violation = true;
+  probe->runs.fetch_add(1);
+  probe->finished[node].fetch_add(1);
+}
+
+TEST(ThreadPoolTest, ReplayGraphStreamsBatchesUnderTheDependencyOrder) {
+  // A layered DAG: 2 roots, a shared middle layer, 2 sinks.
+  ReplayGraph graph;
+  graph.addNode({});
+  graph.addNode({});
+  const ReplayGraph::NodeId roots[] = {0, 1};
+  graph.addNode(roots);
+  graph.addNode(roots);
+  const ReplayGraph::NodeId mids[] = {2, 3};
+  graph.addNode(mids);
+  graph.addNode(mids);
+  graph.freeze();
+
+  DependencyThreadPool pool(4);
+  constexpr std::size_t kBatches = 200;
+  GraphProbe probe(graph.size());
+  probe.preds[2] = {0, 1};
+  probe.preds[3] = {0, 1};
+  probe.preds[4] = {2, 3};
+  probe.preds[5] = {2, 3};
+  pool.runGraph(graph, kBatches, &streamBody, &probe);
+  EXPECT_FALSE(probe.violation.load());
+  EXPECT_EQ(probe.runs.load(), graph.size() * kBatches);
+  for (auto& f : probe.finished)
+    EXPECT_EQ(f.load(), kBatches);
+}
+
+TEST(ThreadPoolTest, ReplayGraphSingleNodeStreamRunsEveryBatch) {
+  ReplayGraph graph;
+  graph.addNode({});
+  graph.freeze();
+  DependencyThreadPool pool(4);
+  GraphProbe probe(1);
+  pool.runGraph(graph, 1000, &probeBody, &probe);
+  EXPECT_FALSE(probe.violation.load());
+  EXPECT_EQ(probe.finished[0].load(), 1000u);
+}
+
+void throwingBody(void* context, ReplayGraph::NodeId node, std::size_t) {
+  auto* probe = static_cast<GraphProbe*>(context);
+  probe->runs.fetch_add(1);
+  if (node == 1)
+    throw Error("graph body failure");
+}
+
+TEST(ThreadPoolTest, ReplayGraphReportsBodyErrorsAfterDraining) {
+  ReplayGraph graph = diamondGraph();
+  DependencyThreadPool pool(4);
+  GraphProbe probe(4);
+  EXPECT_THROW(pool.runGraph(graph, 1, &throwingBody, &probe), Error);
+  // A failed body still releases its dependents: everything ran.
+  EXPECT_EQ(probe.runs.load(), 4u);
+
+  // The pool must stay fully usable afterwards — for graphs and for
+  // ordinary submissions.
+  probe.runs = 0;
+  for (auto& f : probe.finished)
+    f = 0;
+  pool.runGraph(graph, 1, &probeBody, &probe);
+  EXPECT_EQ(probe.runs.load(), 4u);
+  std::atomic<int> plain{0};
+  pool.submit([&] { ++plain; }, {});
+  pool.waitAll();
+  EXPECT_EQ(plain.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReplayGraphBuildErrorsAreChecked) {
+  ReplayGraph graph;
+  graph.addNode({});
+  const ReplayGraph::NodeId self[] = {1};
+  EXPECT_THROW(graph.addNode(self), Error); // dep must be an earlier node
+
+  ReplayGraph unfrozen;
+  unfrozen.addNode({});
+  DependencyThreadPool pool(2);
+  GraphProbe probe(1);
+  EXPECT_THROW(pool.runGraph(unfrozen, 1, &probeBody, &probe), Error);
+
+  ReplayGraph frozen = diamondGraph();
+  EXPECT_THROW(frozen.addNode({}), Error); // sealed
+
+  // Empty graphs and zero batches are no-ops.
+  ReplayGraph empty;
+  empty.freeze();
+  pool.runGraph(empty, 5, &probeBody, &probe);
+  pool.runGraph(frozen, 0, &probeBody, &probe);
+  EXPECT_EQ(probe.runs.load(), 0u);
+}
+
 TEST(ThreadPoolTest, SingleWorkerExecutesAnyDagInTopologicalOrder) {
   DependencyThreadPool pool(1);
   SplitMix64 rng(11);
