@@ -2,7 +2,8 @@
 
 // Shared helpers for the paper-reproduction benchmark binaries: cost
 // calibration (real measurements on this host feeding the machine
-// simulator) and fixed-width table printing.
+// simulator), fixed-width table printing, and machine-readable
+// BENCH_*.json emission (the bench_detect --json schema).
 
 #include "sim/simulator.hpp"
 #include "support/stopwatch.hpp"
@@ -11,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -107,5 +109,74 @@ inline std::string fmt(double v, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
+
+/// Machine-readable benchmark output, following the bench_detect --json
+/// shape: a flat object of run metadata plus a "programs" array with one
+/// object per suite program. Field order is insertion order, so reruns
+/// diff cleanly. Values are stored as already-rendered JSON fragments;
+/// use the num()/str() helpers.
+class JsonReport {
+public:
+  static std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string str(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\')
+        out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  /// Top-level metadata field (value must be a rendered JSON fragment).
+  void meta(const std::string& key, const std::string& jsonValue) {
+    meta_.emplace_back(key, jsonValue);
+  }
+
+  /// Starts the next entry of the "programs" array.
+  void beginProgram(const std::string& name) {
+    programs_.emplace_back();
+    field("name", str(name));
+  }
+  /// Adds a field to the current program entry.
+  void field(const std::string& key, const std::string& jsonValue) {
+    programs_.back().emplace_back(key, jsonValue);
+  }
+
+  /// Writes the report; prints "<tool>: wrote '<path>'" or an error.
+  /// Returns false (and prints to stdout) when the file cannot be opened.
+  bool write(const char* tool, const std::string& path) const {
+    std::ofstream out(path);
+    if (!out.good()) {
+      std::printf("%s: cannot write '%s'\n", tool, path.c_str());
+      return false;
+    }
+    out << "{\n";
+    for (const auto& [key, value] : meta_)
+      out << "  \"" << key << "\": " << value << ",\n";
+    out << "  \"programs\": [\n";
+    for (std::size_t p = 0; p < programs_.size(); ++p) {
+      out << "    {";
+      for (std::size_t f = 0; f < programs_[p].size(); ++f)
+        out << (f ? ", " : "") << '"' << programs_[p][f].first
+            << "\": " << programs_[p][f].second;
+      out << '}' << (p + 1 < programs_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::printf("%s: wrote '%s'\n", tool, path.c_str());
+    return true;
+  }
+
+private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+  Fields meta_;
+  std::vector<Fields> programs_;
+};
 
 } // namespace pipoly::bench

@@ -20,6 +20,20 @@
 // match the sequential run and the amortized per-batch replay cost must
 // be at least 5x cheaper than rebuild-per-batch (exit non-zero otherwise).
 //
+// `--channel` runs the channel-route comparison: per Table-9 program,
+// compile-once replay through the task-depend route vs. the channel
+// engine (bounded SPSC rings between stage workers), with the real
+// compute kernel so per-block work dominates. With `--smoke` it is the
+// CI gate: every channel fingerprint must match the sequential run, and
+// on programs whose optimized graph is a single linear chain the channel
+// route must be no slower than 1.25x the task-depend replay (linear
+// chains are the route's worst case — no cross-stage overlap to win, all
+// token traffic to lose).
+//
+// `--json=FILE` writes the measurements of any mode as machine-readable
+// JSON (BENCH_real_execution.json / BENCH_channel.json), in the
+// bench_detect --json schema.
+//
 // `--trace=FILE` traces the run (compile spans, per-task worker spans,
 // pool park/steal events) and writes Chrome Trace Event JSON.
 
@@ -30,6 +44,8 @@
 #include "kernels/suite.hpp"
 #include "kernels/suite_runner.hpp"
 #include "opt/optimizer.hpp"
+#include "pipeline/comm.hpp"
+#include "pipeline/detect.hpp"
 #include "sim/calibrate.hpp"
 #include "tasking/executor.hpp"
 #include "tasking/replay_executor.hpp"
@@ -50,7 +66,7 @@ using namespace pipoly;
 
 /// CI smoke gate: optimized execution must be observationally identical
 /// to the unoptimized and sequential runs on every Table-9 program.
-int runSmoke() {
+int runSmoke(const std::string& jsonPath) {
   const pb::Value n = 10;
   const int size = 1;
   std::printf("== smoke: optimizer preserves kernel results "
@@ -64,6 +80,9 @@ int runSmoke() {
           std::max(2u, std::thread::hardware_concurrency())));
   bench::Table table(
       {"prog", "tasks", "tasks_opt", "edges", "edges_opt", "status"});
+  bench::JsonReport json;
+  json.meta("mode", bench::JsonReport::str("smoke"));
+  json.meta("n", bench::JsonReport::num(static_cast<std::uint64_t>(n)));
   int failures = 0;
 
   for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
@@ -95,19 +114,31 @@ int runSmoke() {
                   ok ? "ok"
                      : (pipeFp != seqFp ? "FAIL (pipelined)"
                                         : "FAIL (optimized)")});
+    json.beginProgram(spec.name);
+    json.field("tasks", bench::JsonReport::num(
+                            static_cast<std::uint64_t>(stats.tasksBefore)));
+    json.field("tasks_opt", bench::JsonReport::num(static_cast<std::uint64_t>(
+                                stats.tasksAfter)));
+    json.field("edges", bench::JsonReport::num(
+                            static_cast<std::uint64_t>(stats.edgesBefore)));
+    json.field("edges_opt", bench::JsonReport::num(static_cast<std::uint64_t>(
+                                stats.edgesAfter)));
+    json.field("ok", ok ? "true" : "false");
   }
   table.print();
   std::printf("%s\n", failures == 0
                           ? "smoke PASS: optimized == unoptimized == "
                             "sequential on all programs"
                           : "smoke FAIL");
+  if (!jsonPath.empty() && !json.write("bench_real_execution", jsonPath))
+    return 1;
   return failures == 0 ? 0 : 1;
 }
 
 /// Experiment E19: amortized replay vs. rebuild-per-batch. In smoke mode
 /// this is a CI gate — fingerprints must match the sequential run and the
 /// amortized speedup must clear 5x on every Table-9 program.
-int runReplay(bool smoke) {
+int runReplay(bool smoke, const std::string& jsonPath) {
   const pb::Value n = smoke ? 10 : 12;
   const int size = 1;
   const std::size_t batches = smoke ? 20 : 50;
@@ -118,6 +149,11 @@ int runReplay(bool smoke) {
 
   bench::Table table({"prog", "rebuild_ms_per_batch", "replay_ms_per_batch",
                       "amortized_speedup", "status"});
+  bench::JsonReport json;
+  json.meta("mode", bench::JsonReport::str("replay"));
+  json.meta("n", bench::JsonReport::num(static_cast<std::uint64_t>(n)));
+  json.meta("batches", bench::JsonReport::num(batches));
+  json.meta("threads", bench::JsonReport::num(std::uint64_t{hw}));
   int failures = 0;
 
   for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
@@ -195,6 +231,15 @@ int runReplay(bool smoke) {
                   ok ? "ok"
                      : (!fingerprintsOk ? "FAIL (fingerprint)"
                                         : "FAIL (< 5x)")});
+    json.beginProgram(spec.name);
+    json.field("rebuild_ms_per_batch",
+               bench::JsonReport::num(rebuild * 1e3 /
+                                      static_cast<double>(batches)));
+    json.field("replay_ms_per_batch",
+               bench::JsonReport::num(replay * 1e3 /
+                                      static_cast<double>(batches)));
+    json.field("amortized_speedup", bench::JsonReport::num(speedup));
+    json.field("ok", ok ? "true" : "false");
   }
   table.print();
   if (smoke)
@@ -203,6 +248,121 @@ int runReplay(bool smoke) {
                     ? "replay smoke PASS: bit-identical and >= 5x cheaper "
                       "amortized on all programs"
                     : "replay smoke FAIL");
+  if (!jsonPath.empty() && !json.write("bench_real_execution", jsonPath))
+    return 1;
+  return failures == 0 ? 0 : 1;
+}
+
+/// Channel-route comparison (and CI gate with `smoke`): task-depend
+/// replay vs. channel-engine replay with the real compute kernel.
+int runChannel(bool smoke, const std::string& jsonPath) {
+  const pb::Value n = 10;
+  const int size = smoke ? 120 : 300;
+  const std::size_t replays = smoke ? 4 : 10;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("== channel route vs task-depend replay "
+              "(N=%lld, SIZE=%d, replays=%zu, threads=%u) ==\n",
+              static_cast<long long>(n), size, replays, hw);
+
+  bench::Table table({"prog", "stages", "comm_bytes", "taskdep_ms",
+                      "channel_ms", "ratio", "status"});
+  bench::JsonReport json;
+  json.meta("mode", bench::JsonReport::str("channel"));
+  json.meta("n", bench::JsonReport::num(static_cast<std::uint64_t>(n)));
+  json.meta("size", bench::JsonReport::num(static_cast<std::uint64_t>(size)));
+  json.meta("replays", bench::JsonReport::num(replays));
+  json.meta("threads", bench::JsonReport::num(std::uint64_t{hw}));
+  int failures = 0;
+
+  for (const kernels::ProgramSpec& spec : kernels::table9Programs()) {
+    scop::Scop scop = kernels::buildProgram(spec, n);
+    const pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+    const pipeline::CommInfo comm = pipeline::analyzeCommunication(scop, info);
+
+    codegen::TaskProgram prog = codegen::compilePipeline(scop);
+    opt::optimize(prog);
+    auto shared =
+        std::make_shared<const codegen::TaskProgram>(std::move(prog));
+    const opt::SlotTable slots = opt::buildSlotTable(*shared);
+
+    tasking::ReplayOptions taskDepOptions;
+    taskDepOptions.numThreads = hw;
+    tasking::CompiledPipeline taskDep(shared, slots, taskDepOptions);
+    tasking::ReplayOptions channelOptions;
+    channelOptions.numThreads = hw;
+    channelOptions.channels = true;
+    channelOptions.comm = &comm;
+    tasking::CompiledPipeline channel(shared, slots, channelOptions);
+
+    // Correctness: both routes, single replays and a streamed batch run,
+    // against the sequential fingerprint.
+    kernels::SuiteRunner runner(spec, scop, size);
+    tasking::executeSequential(scop, runner.executor());
+    const std::uint64_t seqFp = runner.fingerprint();
+    bool fingerprintsOk = true;
+    for (tasking::CompiledPipeline* pipe : {&taskDep, &channel}) {
+      runner.reset();
+      pipe->replay(runner.executor());
+      fingerprintsOk = fingerprintsOk && runner.fingerprint() == seqFp;
+    }
+    runner.reset();
+    channel.replayBatches(3, [&](std::size_t, std::size_t s,
+                                 const pb::Tuple& it) {
+      runner.execute(s, it);
+    });
+    const std::uint64_t streamedFp = runner.fingerprint();
+    runner.reset();
+    for (int b = 0; b < 3; ++b)
+      taskDep.replay(runner.executor());
+    fingerprintsOk = fingerprintsOk && streamedFp == runner.fingerprint();
+
+    // Timing: `replays` full runs per route with the real kernel.
+    runner.reset();
+    Stopwatch taskDepWatch;
+    for (std::size_t r = 0; r < replays; ++r)
+      taskDep.replay(runner.executor());
+    const double taskDepTime = taskDepWatch.seconds();
+    runner.reset();
+    Stopwatch channelWatch;
+    for (std::size_t r = 0; r < replays; ++r)
+      channel.replay(runner.executor());
+    const double channelTime = channelWatch.seconds();
+
+    const double ratio = taskDepTime > 0 ? channelTime / taskDepTime : 0.0;
+    // Gate only linear chains: the route's worst case, and the shape the
+    // no-regression promise is about. A small absolute allowance keeps
+    // sub-millisecond programs out of timer-noise territory.
+    const bool gated = smoke && taskDep.linear() &&
+                       channelTime > 1.25 * taskDepTime + 2e-3;
+    const bool ok = fingerprintsOk && !gated;
+    failures += ok ? 0 : 1;
+    table.addRow({spec.name, std::to_string(channel.program().numStatements),
+                  std::to_string(comm.totalBytes()),
+                  bench::fmt(taskDepTime * 1e3 / static_cast<double>(replays), 3),
+                  bench::fmt(channelTime * 1e3 / static_cast<double>(replays), 3),
+                  bench::fmt(ratio),
+                  ok ? (taskDep.linear() ? "ok (linear, gated)" : "ok")
+                     : (!fingerprintsOk ? "FAIL (fingerprint)"
+                                        : "FAIL (> 1.25x)")});
+    json.beginProgram(spec.name);
+    json.field("linear", taskDep.linear() ? "true" : "false");
+    json.field("comm_bytes", bench::JsonReport::num(comm.totalBytes()));
+    json.field("taskdep_ms_per_replay",
+               bench::JsonReport::num(taskDepTime * 1e3 / static_cast<double>(replays)));
+    json.field("channel_ms_per_replay",
+               bench::JsonReport::num(channelTime * 1e3 / static_cast<double>(replays)));
+    json.field("ratio", bench::JsonReport::num(ratio));
+    json.field("ok", ok ? "true" : "false");
+  }
+  table.print();
+  if (smoke)
+    std::printf("%s\n",
+                failures == 0
+                    ? "channel smoke PASS: bit-identical fingerprints, no "
+                      "regression on linear chains"
+                    : "channel smoke FAIL");
+  if (!jsonPath.empty() && !json.write("bench_real_execution", jsonPath))
+    return 1;
   return failures == 0 ? 0 : 1;
 }
 
@@ -226,14 +386,19 @@ int dumpTrace(trace::Session& session, const std::string& path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool replay = false;
-  std::string tracePath;
+  bool channel = false;
+  std::string tracePath, jsonPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[i], "--replay") == 0)
       replay = true;
+    else if (std::strcmp(argv[i], "--channel") == 0)
+      channel = true;
     else if (std::strncmp(argv[i], "--trace=", 8) == 0)
       tracePath = argv[i] + 8;
+    else if (std::strncmp(argv[i], "--json=", 7) == 0)
+      jsonPath = argv[i] + 7;
   }
 
   trace::Session session;
@@ -242,14 +407,20 @@ int main(int argc, char** argv) {
     session.start();
   }
 
+  if (channel) {
+    const int rc = runChannel(smoke, jsonPath);
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
+  }
+
   if (replay) {
-    const int rc = runReplay(smoke);
+    const int rc = runReplay(smoke, jsonPath);
     const int traceRc = dumpTrace(session, tracePath);
     return rc != 0 ? rc : traceRc;
   }
 
   if (smoke) {
-    const int rc = runSmoke();
+    const int rc = runSmoke(jsonPath);
     const int traceRc = dumpTrace(session, tracePath);
     return rc != 0 ? rc : traceRc;
   }
@@ -263,6 +434,9 @@ int main(int argc, char** argv) {
 
   bench::Table table({"prog", "seq_ms", "pipelined_ms", "optimized_ms",
                       "measured_speedup", "simulated_speedup(8w)"});
+  bench::JsonReport json;
+  json.meta("mode", bench::JsonReport::str("real"));
+  json.meta("threads", bench::JsonReport::num(std::uint64_t{hw}));
 
   const int size = 2;
   for (const char* name : {"P1", "P3", "P5"}) {
@@ -303,7 +477,14 @@ int main(int argc, char** argv) {
     table.addRow({name, bench::fmt(seq * 1e3, 2), bench::fmt(pipe * 1e3, 2),
                   bench::fmt(optTime * 1e3, 2), bench::fmt(seq / pipe),
                   bench::fmt(r.speedupOver(sim::sequentialTime(scop, model)))});
+    json.beginProgram(name);
+    json.field("seq_ms", bench::JsonReport::num(seq * 1e3));
+    json.field("pipelined_ms", bench::JsonReport::num(pipe * 1e3));
+    json.field("optimized_ms", bench::JsonReport::num(optTime * 1e3));
+    json.field("measured_speedup", bench::JsonReport::num(seq / pipe));
   }
   table.print();
+  if (!jsonPath.empty() && !json.write("bench_real_execution", jsonPath))
+    return 1;
   return dumpTrace(session, tracePath);
 }

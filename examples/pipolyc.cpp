@@ -41,6 +41,11 @@
 //                   closed-form parametric route with per-pair fallback,
 //                   force errors out on any pair the parametric route
 //                   cannot handle; route counters print on stderr
+//     --backend=serial|threadpool|openmp|channel  execution backend for
+//                   --verify and --replay. `channel` runs the communication
+//                   analysis and routes execution through the bounded-SPSC
+//                   channel engine; --report/--json/--dot then carry the
+//                   per-edge volumes and sized channel capacities
 //
 // Example:
 //   ./build/examples/pipolyc --maps --ast --simulate 8
@@ -52,12 +57,14 @@
 #include "codegen/task_program.hpp"
 #include "frontend/frontend.hpp"
 #include "opt/optimizer.hpp"
+#include "pipeline/comm.hpp"
 #include "pipeline/detect.hpp"
 #include "pipeline/detect_cache.hpp"
 #include "pipeline/report.hpp"
 #include "schedule/build.hpp"
 #include "sim/granularity_tuner.hpp"
 #include "sim/simulator.hpp"
+#include "tasking/channel_backend.hpp"
 #include "tasking/executor.hpp"
 #include "tasking/replay_executor.hpp"
 #include "tasking/tracing_layer.hpp"
@@ -96,7 +103,8 @@ int usage() {
                "usage: pipolyc [--maps] [--tree] [--ast] [--tasks] [--dot] "
                "[--optimize] [--emit-c] [--simulate N] [--timeline N] "
                "[--replay=N] [--trace=FILE] [--metrics] [--detect-cache] "
-               "[--parametric=off|auto|force] [file]\n");
+               "[--parametric=off|auto|force] "
+               "[--backend=serial|threadpool|openmp|channel] [file]\n");
   return 2;
 }
 
@@ -112,6 +120,7 @@ int main(int argc, char** argv) {
   unsigned simulateWorkers = 0, timelineWorkers = 0, tuneWorkers = 0;
   std::size_t replayRuns = 0;
   std::string path, tracePath;
+  std::string backendName = "threadpool";
   frontend::ParamOverrides params;
 
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +165,12 @@ int main(int argc, char** argv) {
       else
         return usage();
       routeStats = true;
+    }
+    else if (arg.rfind("--backend=", 0) == 0) {
+      backendName = arg.substr(10);
+      if (backendName != "serial" && backendName != "threadpool" &&
+          backendName != "openmp" && backendName != "channel")
+        return usage();
     }
     else if (arg.rfind("--replay=", 0) == 0) {
       const long long runs = std::atoll(arg.c_str() + 9);
@@ -255,6 +270,14 @@ int main(int argc, char** argv) {
     codegen::TaskProgram prog = codegen::lowerToTasks(scop, lowered);
     prog.validate(scop);
 
+    // The channel backend sizes its rings from the communication
+    // analysis; the exports and the report then carry the per-edge
+    // volumes and capacities too.
+    std::optional<pipeline::CommInfo> comm;
+    if (backendName == "channel")
+      comm = pipeline::analyzeCommunication(scop, info);
+    const pipeline::CommInfo* commPtr = comm ? &*comm : nullptr;
+
     std::optional<codegen::ProgramCounts> preOptCounts;
     if (optimizeRun) {
       preOptCounts = prog.counts();
@@ -291,15 +314,30 @@ int main(int argc, char** argv) {
     if (tasks)
       std::printf("== tasks ==\n%s\n", prog.toString().c_str());
     if (dot)
-      std::printf("%s", codegen::toDot(prog, scop, preOptCounts).c_str());
+      std::printf("%s",
+                  codegen::toDot(prog, scop, preOptCounts, commPtr).c_str());
     if (json)
-      std::printf("%s", codegen::toJson(prog, scop, preOptCounts).c_str());
+      std::printf("%s",
+                  codegen::toJson(prog, scop, preOptCounts, commPtr).c_str());
     if (report)
-      std::printf("%s\n", pipeline::renderReport(scop, info).c_str());
+      std::printf("%s\n", pipeline::renderReport(scop, info, commPtr).c_str());
     if (emitC)
       std::printf("%s", codegen::emitOpenMPProgram(scop, prog).c_str());
     if (verifyRun) {
-      auto layer = tasking::makeThreadPoolBackend(4);
+      std::unique_ptr<tasking::TaskingLayer> layer;
+      if (backendName == "serial")
+        layer = tasking::makeSerialBackend();
+      else if (backendName == "openmp")
+        layer = tasking::makeOpenMPBackend();
+      else if (backendName == "channel")
+        layer = tasking::makeChannelBackend();
+      else
+        layer = tasking::makeThreadPoolBackend(4);
+      if (layer == nullptr) {
+        std::fprintf(stderr, "pipolyc: backend '%s' is not available\n",
+                     backendName.c_str());
+        return 2;
+      }
       verify::VerifyResult vr =
           verify::selfCheck(scop, prog, *layer, /*repetitions=*/3);
       std::printf("== verify ==\n%s on '%s' backend (3 runs)\n\n",
@@ -315,7 +353,12 @@ int main(int argc, char** argv) {
       // program N times against the interpreted oracle.
       const std::uint64_t expected = verify::sequentialFingerprint(scop);
       auto shared = std::make_shared<const codegen::TaskProgram>(prog);
-      tasking::CompiledPipeline pipe(shared);
+      tasking::ReplayOptions replayOptions;
+      if (backendName == "channel") {
+        replayOptions.channels = true;
+        replayOptions.comm = commPtr;
+      }
+      tasking::CompiledPipeline pipe(shared, replayOptions);
       verify::InterpretedKernel kernel(scop);
       std::size_t mismatches = 0;
       const auto start = std::chrono::steady_clock::now();
@@ -332,7 +375,9 @@ int main(int argc, char** argv) {
                   "%s: %zu/%zu runs matched the sequential fingerprint\n"
                   "total %.3f ms, %.3f ms/replay\n\n",
                   replayRuns, pipe.numThreads(),
-                  pipe.linear() ? ", linear fast path" : "",
+                  pipe.channelRoute()  ? ", channel route"
+                  : pipe.linear()      ? ", linear fast path"
+                                       : "",
                   mismatches == 0 ? "PASS" : "FAIL", replayRuns - mismatches,
                   replayRuns, total * 1e3,
                   total * 1e3 / static_cast<double>(replayRuns));

@@ -2,12 +2,14 @@
 
 #include "support/assert.hpp"
 
+#include <set>
 #include <sstream>
 
 namespace pipoly::codegen {
 
 std::string toDot(const TaskProgram& program, const scop::Scop& scop,
-                  const std::optional<ProgramCounts>& preOptCounts) {
+                  const std::optional<ProgramCounts>& preOptCounts,
+                  const pipeline::CommInfo* comm) {
   std::ostringstream os;
   os << "digraph tasks {\n"
      << "  rankdir=LR;\n"
@@ -36,13 +38,24 @@ std::string toDot(const TaskProgram& program, const scop::Scop& scop,
   // Resolve edges through the owner index built once — the per-edge
   // taskWithOut() scan was O(tasks * edges) on large graphs.
   const OutOwnerIndex owner = program.buildOutOwnerIndex();
+  std::set<std::pair<std::size_t, std::size_t>> labelled;
   for (const Task& t : program.tasks) {
     for (const TaskDep& dep : t.in) {
       auto src = owner.find({dep.idx, dep.tag});
       PIPOLY_CHECK(src != owner.end());
       os << "  t" << src->second << " -> t" << t.id;
-      if (dep.selfOrdering)
+      if (dep.selfOrdering) {
         os << " [style=dashed]";
+      } else if (comm != nullptr) {
+        // Volume/capacity label on the first edge of each statement pair
+        // only: the numbers are per-pair, repeating them is pure clutter.
+        const std::size_t srcStmt = program.tasks[src->second].stmtIdx;
+        if (srcStmt != t.stmtIdx &&
+            labelled.emplace(srcStmt, t.stmtIdx).second)
+          if (const pipeline::EdgeComm* e = comm->edge(srcStmt, t.stmtIdx))
+            os << " [label=\"" << e->totalBytes << " B, cap "
+               << e->capacitySlots << "\", fontsize=9]";
+      }
       os << ";\n";
     }
   }

@@ -6,6 +6,7 @@
 // the pipeline detection produced — `dot -Tsvg graph.dot`.
 
 #include "codegen/task_program.hpp"
+#include "pipeline/comm.hpp"
 
 #include <optional>
 #include <string>
@@ -14,9 +15,12 @@ namespace pipoly::codegen {
 
 /// When `preOptCounts` is given (the counts of the program before the
 /// task-graph optimizer ran), the graph label reports the pre/post task
-/// and edge counts so shrinkage is visible on the rendered graph.
+/// and edge counts so shrinkage is visible on the rendered graph. With a
+/// communication analysis the first dependency edge of every statement
+/// pair carries the edge's volume and sized channel capacity as a label.
 std::string toDot(const TaskProgram& program, const scop::Scop& scop,
                   const std::optional<ProgramCounts>& preOptCounts =
-                      std::nullopt);
+                      std::nullopt,
+                  const pipeline::CommInfo* comm = nullptr);
 
 } // namespace pipoly::codegen

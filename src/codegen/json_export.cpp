@@ -22,7 +22,8 @@ std::string escape(const std::string& s) {
 } // namespace
 
 std::string toJson(const TaskProgram& program, const scop::Scop& scop,
-                   const std::optional<ProgramCounts>& preOptCounts) {
+                   const std::optional<ProgramCounts>& preOptCounts,
+                   const pipeline::CommInfo* comm) {
   const OutOwnerIndex owner = program.buildOutOwnerIndex();
 
   std::vector<std::size_t> blocksPerStmt(scop.numStatements(), 0);
@@ -38,6 +39,22 @@ std::string toJson(const TaskProgram& program, const scop::Scop& scop,
        << ", \"tasks\": " << after.tasks
        << ", \"edgesBefore\": " << preOptCounts->inEdges
        << ", \"edges\": " << after.inEdges << '}';
+  }
+  if (comm != nullptr) {
+    os << ",\n  \"communication\": {\"totalBytes\": " << comm->totalBytes()
+       << ", \"edges\": [\n";
+    for (std::size_t k = 0; k < comm->edges.size(); ++k) {
+      const pipeline::EdgeComm& e = comm->edges[k];
+      os << "    {\"src\": " << e.srcIdx << ", \"tgt\": " << e.tgtIdx
+         << ", \"elements\": " << e.elements << ", \"bytes\": "
+         << e.totalBytes << ", \"maxBlockBytes\": " << e.maxBlockBytes
+         << ", \"peakTokens\": " << e.peakInFlightTokens
+         << ", \"peakBytes\": " << e.peakInFlightBytes << ", \"capacity\": "
+         << e.capacitySlots << ", \"parametric\": "
+         << (e.parametric ? "true" : "false") << '}'
+         << (k + 1 < comm->edges.size() ? "," : "") << '\n';
+    }
+    os << "  ]}";
   }
   os << ",\n  \"statements\": [\n";
   for (std::size_t s = 0; s < scop.numStatements(); ++s) {

@@ -13,9 +13,14 @@
 //
 // The "optimization" object is present only when the caller passes the
 // pre-optimization counts (compare against program.counts() to see how
-// much the task-graph optimizer shrank the program).
+// much the task-graph optimizer shrank the program). With a
+// communication analysis (pipeline::analyzeCommunication) the export
+// additionally carries a "communication" object: per pipeline edge the
+// polyhedral volume, peak in-flight footprint and sized channel
+// capacity.
 
 #include "codegen/task_program.hpp"
+#include "pipeline/comm.hpp"
 
 #include <optional>
 #include <string>
@@ -24,6 +29,7 @@ namespace pipoly::codegen {
 
 std::string toJson(const TaskProgram& program, const scop::Scop& scop,
                    const std::optional<ProgramCounts>& preOptCounts =
-                       std::nullopt);
+                       std::nullopt,
+                   const pipeline::CommInfo* comm = nullptr);
 
 } // namespace pipoly::codegen

@@ -51,6 +51,11 @@ ProgramCounts TaskProgram::counts() const {
 void TaskProgram::validate(const scop::Scop& scop) const {
   trace::Span span("codegen.validate");
   PIPOLY_CHECK(numStatements == scop.numStatements());
+  PIPOLY_CHECK_MSG(stmtReaders.empty() || stmtReaders.size() == numStatements,
+                   "stmtReaders must be absent or cover every statement");
+  for (const std::vector<std::size_t>& readers : stmtReaders)
+    for (std::size_t r : readers)
+      PIPOLY_CHECK_MSG(r < numStatements, "stmtReaders index out of range");
 
   // Out-dependencies are unique and tasks are creation-ordered by id.
   // O(n) expected through the hashed owner index.
@@ -114,6 +119,34 @@ void TaskProgram::validate(const scop::Scop& scop) const {
   }
 }
 
+std::vector<std::vector<std::size_t>>
+statementReadership(const TaskProgram& program) {
+  const std::size_t numStmts = program.numStatements;
+  if (program.stmtReaders.size() == numStmts)
+    return program.stmtReaders;
+  // Fallback for hand-assembled programs: statement-level reachability
+  // over the surviving edges (in-dependency idx IS the producer's
+  // statement slot). Floyd–Warshall; statement counts are small.
+  std::vector<std::vector<bool>> reach(numStmts,
+                                       std::vector<bool>(numStmts, false));
+  for (const Task& t : program.tasks)
+    for (const TaskDep& dep : t.in)
+      if (dep.idx >= 0 && static_cast<std::size_t>(dep.idx) < numStmts)
+        reach[static_cast<std::size_t>(dep.idx)][t.stmtIdx] = true;
+  for (std::size_t k = 0; k < numStmts; ++k)
+    for (std::size_t s = 0; s < numStmts; ++s)
+      if (reach[s][k])
+        for (std::size_t t = 0; t < numStmts; ++t)
+          if (reach[k][t])
+            reach[s][t] = true;
+  std::vector<std::vector<std::size_t>> readers(numStmts);
+  for (std::size_t s = 0; s < numStmts; ++s)
+    for (std::size_t t = 0; t < numStmts; ++t)
+      if (s != t && reach[s][t])
+        readers[s].push_back(t);
+  return readers;
+}
+
 TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast) {
   trace::Span span("codegen.lower");
   TaskProgram prog;
@@ -126,6 +159,18 @@ TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast) {
       isSource[req.srcStmtIdx] = true;
   prog.writeNum = static_cast<std::size_t>(
       std::count(isSource.begin(), isSource.end(), true));
+
+  // Statement-level readership (see the field comment): one entry per
+  // Q_S requirement, deduplicated.
+  prog.stmtReaders.assign(scop.numStatements(), {});
+  for (const ast::AstLoopNest& nest : ast.nests)
+    for (const pipeline::InRequirement& req : nest.annotation.inRequirements)
+      if (req.srcStmtIdx != nest.stmtIdx)
+        prog.stmtReaders[req.srcStmtIdx].push_back(nest.stmtIdx);
+  for (std::vector<std::size_t>& readers : prog.stmtReaders) {
+    std::sort(readers.begin(), readers.end());
+    readers.erase(std::unique(readers.begin(), readers.end()), readers.end());
+  }
 
   for (const ast::AstLoopNest& nest : ast.nests) {
     const int stmtSlot = static_cast<int>(nest.stmtIdx);

@@ -77,6 +77,16 @@ struct TaskProgram {
   /// chain (Fig. 8 funcCount); false when the §7 relaxation replaced the
   /// chain with exact self-dependence edges.
   bool chainOrdering = true;
+  /// For each statement, the distinct OTHER statements that read its
+  /// output (from the Q_S data-flow requirements; sorted, self excluded).
+  /// Recorded at lowering because streaming replay needs direct
+  /// readership to bound cross-batch skew, and transitive reduction
+  /// legitimately drops the block edges it could otherwise be read off
+  /// of (a reader whose edges are all implied by a longer path keeps no
+  /// direct edge). Empty for hand-assembled programs; consumers then
+  /// fall back to statement-level reachability over the surviving edges,
+  /// which reduction preserves.
+  std::vector<std::vector<std::size_t>> stmtReaders;
 
   /// Index of the task with the given out-dependency; tasks are unique per
   /// (idx, tag). Linear scan — for bulk resolution build the owner index
@@ -96,6 +106,16 @@ struct TaskProgram {
 
   std::string toString() const;
 };
+
+/// Statement-level readership for streaming executors: stmtReaders when
+/// the program records it (exact direct readership), otherwise the
+/// transitive closure of the statement-level projection of the surviving
+/// in-dependencies — an over-approximation that reduction preserves.
+/// Entry s lists the statements (self excluded, ascending) whose batch b
+/// must complete before statement s may overwrite its arrays in batch
+/// b+1.
+std::vector<std::vector<std::size_t>>
+statementReadership(const TaskProgram& program);
 
 /// The paper's vector-to-integer linearisation. Every coordinate must be
 /// in [0, kLinearStride).

@@ -47,7 +47,8 @@ std::size_t medianBlockSize(const StatementPipelineInfo& st) {
 
 } // namespace
 
-std::string renderReport(const scop::Scop& scop, const PipelineInfo& info) {
+std::string renderReport(const scop::Scop& scop, const PipelineInfo& info,
+                         const CommInfo* comm) {
   std::ostringstream os;
   os << "pipeline report for scop '" << scop.name() << "'\n";
 
@@ -89,6 +90,21 @@ std::string renderReport(const scop::Scop& scop, const PipelineInfo& info) {
        << ')';
   }
   os << "\n  total tasks: " << info.totalBlocks() << '\n';
+
+  if (comm != nullptr) {
+    os << "  communication: " << comm->totalBytes() << " bytes across "
+       << comm->edges.size() << " edge" << (comm->edges.size() == 1 ? "" : "s")
+       << '\n';
+    for (const EdgeComm& e : comm->edges)
+      os << "    " << scop.statement(e.srcIdx).name() << " -> "
+         << scop.statement(e.tgtIdx).name() << ": " << e.elements
+         << " elements (" << e.totalBytes << " B"
+         << (e.parametric ? ", parametric" : "") << "), peak in flight "
+         << e.peakInFlightTokens << " token"
+         << (e.peakInFlightTokens == 1 ? "" : "s") << " ("
+         << e.peakInFlightBytes << " B), channel capacity "
+         << e.capacitySlots << " slots\n";
+  }
   return os.str();
 }
 

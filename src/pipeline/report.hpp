@@ -6,6 +6,7 @@
 // per-statement blocking summary. Tooling support for users adopting the
 // library (surfaced by `pipolyc`).
 
+#include "pipeline/comm.hpp"
 #include "pipeline/detect.hpp"
 #include "scop/scop.hpp"
 
@@ -20,6 +21,11 @@ namespace pipoly::pipeline {
 ///   pipeline S -> R: 81 stage boundaries, source stride (0, 2),
 ///     enables one R block per 2 S iterations
 ///   blocking: S -> 82 blocks (median 4 its), R -> 81 blocks (median 1 its)
-std::string renderReport(const scop::Scop& scop, const PipelineInfo& info);
+///
+/// With a communication analysis (`comm` non-null) the report appends a
+/// per-edge communication section: polyhedral volume, peak in-flight
+/// footprint and the sized channel capacity of each pipeline edge.
+std::string renderReport(const scop::Scop& scop, const PipelineInfo& info,
+                         const CommInfo* comm = nullptr);
 
 } // namespace pipoly::pipeline

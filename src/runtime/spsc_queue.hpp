@@ -1,0 +1,127 @@
+#pragma once
+
+// Lock-free bounded single-producer/single-consumer ring buffer — the
+// channel primitive of the channel tasking backend (tasking/channel_backend).
+// One pipeline edge = one SpscQueue carrying block-completion tokens from
+// the producer stage's worker to the consumer stage's worker.
+//
+// The classic two-counter design (Lamport queue with cached indices):
+// monotone 64-bit head/tail, each written by exactly one side, each side
+// keeping a cached copy of the other side's counter so the common case of
+// tryPush/tryPop touches only one shared cache line. Capacity is exact
+// (not rounded to a power of two) and fixed at construction; the queue
+// never allocates after construction.
+//
+// tryPush/tryPop are wait-free. There is deliberately no blocking API:
+// waiting strategies (spin, yield, cooperative stage polling) belong to
+// the scheduler that owns the threads, not to the data structure.
+
+#include "support/assert.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pipoly::rt {
+
+template <typename T> class SpscQueue {
+public:
+  explicit SpscQueue(std::size_t capacity) : capacity_(capacity) {
+    PIPOLY_CHECK_MSG(capacity >= 1, "SpscQueue capacity must be >= 1");
+    slots_.resize(capacity);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer side. Returns false when the ring is full or closed.
+  bool tryPush(T value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - headCache_ >= capacity_) {
+      headCache_ = head_.load(std::memory_order_acquire);
+      if (tail - headCache_ >= capacity_)
+        return false;
+    }
+    if (closed_.load(std::memory_order_relaxed))
+      return false;
+    slots_[static_cast<std::size_t>(tail % capacity_)] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer-side space probe: true when the next tryPush will succeed.
+  /// Single-producer, so a true result cannot be invalidated by anyone
+  /// but the caller (the consumer only frees slots). Lets a scheduler
+  /// check for space *before* running work whose completion it could not
+  /// otherwise un-publish.
+  bool canPush() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - headCache_ < capacity_)
+      return true;
+    headCache_ = head_.load(std::memory_order_acquire);
+    return tail - headCache_ < capacity_;
+  }
+
+  /// Consumer side. Empty optional when the ring is empty.
+  std::optional<T> tryPop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tailCache_) {
+      tailCache_ = tail_.load(std::memory_order_acquire);
+      if (head == tailCache_)
+        return std::nullopt;
+    }
+    T value = std::move(slots_[static_cast<std::size_t>(head % capacity_)]);
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Either side may close; a closed queue rejects pushes but drains
+  /// normally. Lets a cancelled producer or consumer unwind without a
+  /// handshake.
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Racy by nature — a monitoring/diagnostic value only.
+  std::size_t sizeApprox() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail >= head ? tail - head : 0);
+  }
+
+  /// Heap footprint of the ring storage (for retainedBytes accounting).
+  std::size_t storageBytes() const { return slots_.capacity() * sizeof(T); }
+
+  /// Reset to empty. Caller must guarantee neither side is active (the
+  /// channel engine resets between runs, behind a full barrier).
+  void resetUnsafe() {
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    headCache_ = 0;
+    tailCache_ = 0;
+    closed_.store(false, std::memory_order_relaxed);
+  }
+
+private:
+  // A fixed 64 rather than std::hardware_destructive_interference_size:
+  // the constant is ABI-stable across translation units and every target
+  // this runs on has 64-byte (or smaller) destructive interference.
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  // Producer-owned line: tail plus the producer's cached head.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t headCache_ = 0;
+  // Consumer-owned line: head plus the consumer's cached tail.
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tailCache_ = 0;
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
+};
+
+} // namespace pipoly::rt

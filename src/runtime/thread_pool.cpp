@@ -62,6 +62,29 @@ ReplayGraph::NodeId ReplayGraph::addNode(std::span<const NodeId> deps) {
   return id;
 }
 
+std::uint32_t ReplayGraph::addBatchGroup(std::span<const NodeId> members) {
+  PIPOLY_CHECK_MSG(!frozen_, "ReplayGraph::addBatchGroup after freeze()");
+  if (members.empty())
+    return kNoGroup;
+  for (NodeId m : members)
+    PIPOLY_CHECK_MSG(m < buildPreds_.size(),
+                     "ReplayGraph batch group names a not-yet-added node");
+  buildGroups_.emplace_back(members.begin(), members.end());
+  buildGroupEdges_.emplace_back();
+  return static_cast<std::uint32_t>(buildGroups_.size() - 1);
+}
+
+void ReplayGraph::addGroupAntiEdge(std::uint32_t readerGroup,
+                                   std::uint32_t writerGroup) {
+  PIPOLY_CHECK_MSG(!frozen_, "ReplayGraph::addGroupAntiEdge after freeze()");
+  PIPOLY_CHECK_MSG(readerGroup < buildGroups_.size() &&
+                       writerGroup < buildGroups_.size(),
+                   "ReplayGraph anti edge names an unknown group");
+  if (readerGroup == writerGroup)
+    return; // the group itself already serialises a stage's batches
+  buildGroupEdges_[readerGroup].push_back(writerGroup);
+}
+
 void ReplayGraph::freeze() {
   PIPOLY_CHECK_MSG(!frozen_, "ReplayGraph::freeze called twice");
   const std::size_t n = buildPreds_.size();
@@ -99,9 +122,62 @@ void ReplayGraph::freeze() {
       roots_.push_back(static_cast<NodeId>(v));
   }
   counters_ = std::make_unique<Counters[]>(n);
+
+  // Batch groups: membership map, CSR member lists, one parity counter
+  // pair per group, and +1 steady-state token per member (the group
+  // release for the previous batch).
+  groupOf_.assign(n, kNoGroup);
+  groupOffsets_.push_back(0);
+  for (std::size_t g = 0; g < buildGroups_.size(); ++g) {
+    for (NodeId m : buildGroups_[g]) {
+      PIPOLY_CHECK_MSG(groupOf_[m] == kNoGroup,
+                       "ReplayGraph node in two batch groups");
+      groupOf_[m] = static_cast<std::uint32_t>(g);
+      groupMembers_.push_back(m);
+      ++indegSteady_[m];
+    }
+    groupOffsets_.push_back(static_cast<std::uint32_t>(groupMembers_.size()));
+  }
+  if (!buildGroups_.empty())
+    groupCounters_ = std::make_unique<Counters[]>(buildGroups_.size());
+
+  // Cross-group anti edges: CSR by reader group, and one extra
+  // steady-state token per incoming edge for every member of the writer
+  // group (the reader stage's batch-b release of the writer's batch b+1).
+  groupEdgeOffsets_.push_back(0);
+  for (std::vector<std::uint32_t>& targets : buildGroupEdges_) {
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (std::uint32_t w : targets) {
+      groupEdgeTargets_.push_back(w);
+      for (std::uint32_t k = groupOffsets_[w]; k < groupOffsets_[w + 1]; ++k)
+        ++indegSteady_[groupMembers_[k]];
+    }
+    groupEdgeOffsets_.push_back(
+        static_cast<std::uint32_t>(groupEdgeTargets_.size()));
+  }
+
   buildPreds_.clear();
   buildPreds_.shrink_to_fit();
+  buildGroups_.clear();
+  buildGroups_.shrink_to_fit();
+  buildGroupEdges_.clear();
+  buildGroupEdges_.shrink_to_fit();
   frozen_ = true;
+}
+
+std::size_t ReplayGraph::storageBytes() const {
+  const std::size_t n = size();
+  std::size_t bytes = n * sizeof(Counters) + numGroups() * sizeof(Counters);
+  bytes += (preds_.capacity() + succs_.capacity() + roots_.capacity() +
+            groupMembers_.capacity()) *
+           sizeof(NodeId);
+  bytes += (predOffsets_.capacity() + succOffsets_.capacity() +
+            indegFirst_.capacity() + indegSteady_.capacity() +
+            groupOffsets_.capacity() + groupOf_.capacity() +
+            groupEdgeTargets_.capacity() + groupEdgeOffsets_.capacity()) *
+           sizeof(std::uint32_t);
+  return bytes;
 }
 
 DependencyThreadPool::DepEdge* DependencyThreadPool::sealedTag() {
@@ -325,6 +401,38 @@ void DependencyThreadPool::runGraphTask(TaskId id) {
       sendGraphToken(graph, graph.preds_[k], batch + 1); // anti
   }
 
+  // Batch-group completion: the member that drops the group's batch-b
+  // count to zero re-arms the parity slot for batch b+2 (every b+2
+  // decrement happens-after the b+1 release below — a member must
+  // receive that release before it can start, let alone finish, b+2),
+  // then hands each member its batch-b+1 group token and releases batch
+  // b+1 of every writer group this group holds an anti edge to. The
+  // writer members' parity slots for b+1 were re-armed when they started
+  // batch b-1, which happens-before this release: the writer group's own
+  // batch-serial constraint orders all its members' batch b-1 before any
+  // member's batch b, and this reader stage's batch b sits behind the
+  // writer's batch b along at least one surviving RAW path.
+  const std::uint32_t g = graph.groupOf_[node];
+  if (g != ReplayGraph::kNoGroup) {
+    std::atomic<std::uint32_t>& count = graph.groupCounters_[g].slot[batch & 1];
+    if (count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      count.store(graph.groupOffsets_[g + 1] - graph.groupOffsets_[g],
+                  std::memory_order_relaxed);
+      if (batch + 1 < graphBatches_) {
+        for (std::uint32_t k = graph.groupOffsets_[g];
+             k < graph.groupOffsets_[g + 1]; ++k)
+          sendGraphToken(graph, graph.groupMembers_[k], batch + 1);
+        for (std::uint32_t e = graph.groupEdgeOffsets_[g];
+             e < graph.groupEdgeOffsets_[g + 1]; ++e) {
+          const std::uint32_t w = graph.groupEdgeTargets_[e];
+          for (std::uint32_t k = graph.groupOffsets_[w];
+               k < graph.groupOffsets_[w + 1]; ++k)
+            sendGraphToken(graph, graph.groupMembers_[k], batch + 1);
+        }
+      }
+    }
+  }
+
   if (graphRemaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Empty critical section pairs with runGraph()'s predicate check so
     // the notify cannot slip between its load and its sleep.
@@ -351,6 +459,12 @@ void DependencyThreadPool::runGraph(ReplayGraph& graph, std::size_t numBatches,
     graph.counters_[v].slot[1].store(
         numBatches > 1 ? graph.indegSteady_[v] : 0,
         std::memory_order_relaxed);
+  }
+  for (std::size_t g = 0; g < graph.numGroups(); ++g) {
+    const std::uint32_t members =
+        graph.groupOffsets_[g + 1] - graph.groupOffsets_[g];
+    graph.groupCounters_[g].slot[0].store(members, std::memory_order_relaxed);
+    graph.groupCounters_[g].slot[1].store(members, std::memory_order_relaxed);
   }
   graph_ = &graph;
   graphBody_ = body;

@@ -82,15 +82,38 @@ std::optional<unsigned> parseWakeCap(const char* text);
 /// Streaming runs (numBatches > 1) pipeline consecutive batches
 /// Pipeflow-style. Batch b+1 of node n may start once
 ///   * n's in-batch predecessors finished batch b+1,
-///   * n itself finished batch b (the write-after-write self edge), and
+///   * n itself finished batch b (the write-after-write self edge),
 ///   * n's direct in-batch successors finished batch b (the
 ///     write-after-read anti edge: n's next batch overwrites data its
-///     consumers may still be reading).
+///     consumers may still be reading), and
+///   * every member of n's batch group — if one was declared via
+///     addBatchGroup — finished batch b. Groups close the hazard the
+///     edge set alone cannot see: when a node reads data that a LATER
+///     node of the same stage writes (forward self-neighbourhoods like
+///     A[i+1][j+1]), the value crosses the batch boundary backwards, and
+///     no RAW edge exists to order the reader's batch b+1 after the
+///     writer's batch b. Grouping a stage's nodes keeps the stage
+///     batch-serial (it cannot lap itself), exactly matching the channel
+///     backend's in-order stage semantics.
+///   * every member of every group with a declared anti edge INTO n's
+///     group (addGroupAntiEdge) finished batch b. This is the
+///     cross-stage write-after-read constraint at stage granularity: a
+///     writer stage may overwrite its arrays for batch b+1 only after
+///     every stage that reads them is done with batch b. The per-node
+///     anti edges (third bullet) cover only DIRECT graph consumers —
+///     after transitive reduction a reader whose block edges were all
+///     implied by a longer path has no direct edge left, so the writer
+///     would lap it. Group anti edges carry the readership relation
+///     independently of which block edges survived optimization.
 /// The anti edges bound the batch skew between adjacent stages to one,
 /// which is exactly what makes the two-slot (batch-parity) counter
 /// scheme race-free: a node's counter slot for batch b+2 is re-armed
 /// when batch b fires, and every possible decrement of that slot
 /// happens-after batch b finished (see runGraph's implementation notes).
+/// Group counters follow the same parity discipline: the finisher that
+/// drops a group's batch-b count to zero re-arms the slot for batch b+2
+/// before releasing batch b+1, and every batch-b+2 decrement
+/// happens-after that release.
 class ReplayGraph {
 public:
   using NodeId = std::uint32_t;
@@ -99,10 +122,32 @@ public:
   /// different payloads across runs.
   using Body = void (*)(void* context, NodeId node, std::size_t batch);
 
+  /// Group id returned by addBatchGroup for an empty member list; valid
+  /// ids are dense and start at 0.
+  static constexpr std::uint32_t kNoGroup = UINT32_MAX;
+
   /// Adds a node depending on the given earlier nodes (every id must come
   /// from a previous addNode — creation order is the topological order).
   /// Must be called before freeze().
   NodeId addNode(std::span<const NodeId> deps);
+
+  /// Declares a batch group and returns its id: in streaming runs, batch
+  /// b+1 of any member may start only after every member finished batch b
+  /// (the stage is batch-serial — see the class comment for why edges
+  /// alone cannot express this). Nodes must already exist and each node
+  /// may belong to at most one group. Singleton groups are kept — their
+  /// batch-serial constraint is redundant with the self edge, but they
+  /// still anchor addGroupAntiEdge constraints. An empty member list
+  /// returns kNoGroup. Must be called before freeze().
+  std::uint32_t addBatchGroup(std::span<const NodeId> members);
+
+  /// Declares a cross-group anti edge: in streaming runs, batch b+1 of
+  /// any member of `writerGroup` may start only after every member of
+  /// `readerGroup` finished batch b (see the class comment's fifth
+  /// bullet). Self edges are ignored (the batch group itself already
+  /// serialises a stage); duplicates are deduplicated by freeze(). Must
+  /// be called before freeze().
+  void addGroupAntiEdge(std::uint32_t readerGroup, std::uint32_t writerGroup);
 
   /// Seals the graph: builds the flat successor/predecessor lists, the
   /// ready-count templates and the counter storage. Required before the
@@ -113,6 +158,13 @@ public:
   std::size_t size() const { return predOffsets_.empty() ? buildPreds_.size()
                                                          : predOffsets_.size() - 1; }
   std::size_t numEdges() const { return preds_.size(); }
+  std::size_t numGroups() const {
+    return groupOffsets_.empty() ? 0 : groupOffsets_.size() - 1;
+  }
+
+  /// Heap footprint of the frozen structures: ready counters, CSR
+  /// adjacency, and batch-group tables (for retainedBytes accounting).
+  std::size_t storageBytes() const;
 
 private:
   friend class DependencyThreadPool;
@@ -125,14 +177,27 @@ private:
 
   // Build-time state (cleared by freeze()).
   std::vector<std::vector<NodeId>> buildPreds_;
+  std::vector<std::vector<NodeId>> buildGroups_;
+  // Per reader group: the writer groups its completion releases.
+  std::vector<std::vector<std::uint32_t>> buildGroupEdges_;
 
   // Frozen CSR adjacency + ready-count templates.
   std::vector<NodeId> preds_, succs_;
   std::vector<std::uint32_t> predOffsets_, succOffsets_;
   std::vector<std::uint32_t> indegFirst_;  // batch 0: in-batch preds only
-  std::vector<std::uint32_t> indegSteady_; // batch >= 1: preds + succs + self
+  std::vector<std::uint32_t> indegSteady_; // batch >= 1: preds+succs+self+group
   std::vector<NodeId> roots_;              // indegFirst == 0
   std::unique_ptr<Counters[]> counters_;
+  // Batch groups: CSR member lists, per-node membership, and one parity
+  // counter pair per group counting that batch's unfinished members.
+  std::vector<NodeId> groupMembers_;
+  std::vector<std::uint32_t> groupOffsets_;
+  std::vector<std::uint32_t> groupOf_;
+  std::unique_ptr<Counters[]> groupCounters_;
+  // Cross-group anti edges, CSR keyed by reader group: completing batch b
+  // hands every member of each target (writer) group a batch-b+1 token.
+  std::vector<std::uint32_t> groupEdgeTargets_;
+  std::vector<std::uint32_t> groupEdgeOffsets_;
   bool frozen_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include "support/assert.hpp"
 
 #include <algorithm>
+#include <map>
 #include <queue>
 #include <set>
 
@@ -145,6 +146,165 @@ SimResult simulate(const codegen::TaskProgram& program,
   }
   return simulateResolved(program, model, config, dependents,
                           std::move(indegree));
+}
+
+namespace {
+
+/// (stage, stage-local position) of every task plus per-stage counts —
+/// the same stage structure the channel backend builds (stage == the
+/// task's statement; tasks in creation order within their stage).
+struct StagePlacement {
+  std::vector<std::size_t> stageOf;    // per statement, SIZE_MAX if empty
+  std::vector<std::size_t> stmtOf;     // per stage, the statement
+  std::vector<std::size_t> stageTasks; // per stage, task count
+  std::vector<std::pair<std::size_t, std::size_t>> place; // per task
+};
+
+StagePlacement placeStages(const codegen::TaskProgram& program) {
+  StagePlacement p;
+  p.stageOf.assign(program.numStatements, SIZE_MAX);
+  for (const codegen::Task& t : program.tasks)
+    if (p.stageOf[t.stmtIdx] == SIZE_MAX) {
+      p.stageOf[t.stmtIdx] = 0;
+      p.stmtOf.push_back(t.stmtIdx);
+    }
+  std::sort(p.stmtOf.begin(), p.stmtOf.end());
+  for (std::size_t s = 0; s < p.stmtOf.size(); ++s)
+    p.stageOf[p.stmtOf[s]] = s;
+  p.stageTasks.assign(p.stmtOf.size(), 0);
+  p.place.resize(program.tasks.size());
+  for (std::size_t i = 0; i < program.tasks.size(); ++i) {
+    const std::size_t stage = p.stageOf[program.tasks[i].stmtIdx];
+    p.place[i] = {stage, p.stageTasks[stage]++};
+  }
+  return p;
+}
+
+} // namespace
+
+ChannelSimResult simulateChannels(const codegen::TaskProgram& program,
+                                  const pipeline::CommInfo& comm,
+                                  const CostModel& model) {
+  ChannelSimResult result;
+  const std::size_t n = program.tasks.size();
+  if (n == 0)
+    return result;
+  const StagePlacement p = placeStages(program);
+  result.numStages = p.stmtOf.size();
+  const opt::SlotTable slots = opt::buildSlotTable(program);
+
+  // Channel edges present in this program: distinct cross-stage pairs.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> edgeIdx;
+  auto edgeFor = [&](std::size_t srcStage, std::size_t tgtStage) {
+    const auto [it, fresh] =
+        edgeIdx.try_emplace({srcStage, tgtStage}, result.edges.size());
+    if (fresh) {
+      ChannelEdgeLoad load;
+      load.srcStmt = p.stmtOf[srcStage];
+      load.tgtStmt = p.stmtOf[tgtStage];
+      if (const pipeline::EdgeComm* e =
+              comm.edge(load.srcStmt, load.tgtStmt)) {
+        load.totalBytes = e->totalBytes;
+        load.capacitySlots = e->capacitySlots;
+      }
+      load.bytesPerToken = p.stageTasks[srcStage] > 0
+                               ? static_cast<double>(load.totalBytes) /
+                                     static_cast<double>(
+                                         p.stageTasks[srcStage])
+                               : 0.0;
+      result.edges.push_back(load);
+    }
+    return it->second;
+  };
+
+  // Single-pass DES: tasks in creation order is a topological order, and
+  // within a stage it is *the* execution order of the channel route. A
+  // task starts when its stage predecessor finished and every cross-stage
+  // token arrived (producer finish + edge latency); its body costs only
+  // the iterations — the route spawns no tasks and hashes no slots.
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> stageClock(result.numStages, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const codegen::Task& task = program.tasks[i];
+    const auto [stage, pos] = p.place[i];
+    (void)pos;
+    double start = stageClock[stage];
+    for (const std::uint32_t* s = slots.inBegin(i); s != slots.inEnd(i);
+         ++s) {
+      const std::size_t srcStage = p.place[*s].first;
+      if (srcStage == stage) {
+        start = std::max(start, finish[*s]);
+        continue;
+      }
+      const ChannelEdgeLoad& load = result.edges[edgeFor(srcStage, stage)];
+      const double latency = model.channelTokenOverhead +
+                             model.commCostPerByte * load.bytesPerToken;
+      start = std::max(start, finish[*s] + latency);
+      result.commTime += latency;
+    }
+    finish[i] = start + static_cast<double>(task.iterations.size()) *
+                            model.iterationCost.at(task.stmtIdx);
+    stageClock[stage] = finish[i];
+    result.makespan = std::max(result.makespan, finish[i]);
+  }
+
+  // Peak occupancy per edge: a token appears at its producer's finish
+  // and is retired at the start of the earliest consumer task depending
+  // on that producer (tokens nobody waits on stay in flight to the end).
+  for (const auto& [pair, ei] : edgeIdx) {
+    std::vector<std::pair<double, int>> deltas;
+    std::vector<double> retire(n, -1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p.place[i].first != pair.second)
+        continue;
+      const double start = finish[i] - static_cast<double>(
+                                           program.tasks[i].iterations.size()) *
+                                           model.iterationCost.at(
+                                               program.tasks[i].stmtIdx);
+      for (const std::uint32_t* s = slots.inBegin(i); s != slots.inEnd(i);
+           ++s)
+        if (p.place[*s].first == pair.first &&
+            (retire[*s] < 0.0 || start < retire[*s]))
+          retire[*s] = start;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p.place[i].first != pair.first)
+        continue;
+      deltas.emplace_back(finish[i], +1);
+      if (retire[i] >= 0.0)
+        deltas.emplace_back(retire[i], -1);
+    }
+    std::sort(deltas.begin(), deltas.end(),
+              [](const auto& a, const auto& b) {
+                // Retire before push at equal timestamps: the consumer's
+                // poll drains before the producer's next push lands.
+                return a.first != b.first ? a.first < b.first
+                                          : a.second < b.second;
+              });
+    int live = 0, peak = 0;
+    for (const auto& [ts, delta] : deltas)
+      peak = std::max(peak, live += delta);
+    result.edges[ei].peakTokens = static_cast<std::uint32_t>(peak);
+    result.bytesMoved += result.edges[ei].totalBytes;
+  }
+  return result;
+}
+
+std::uint64_t crossStageBytes(const codegen::TaskProgram& program,
+                              const pipeline::CommInfo& comm) {
+  const StagePlacement p = placeStages(program);
+  const opt::SlotTable slots = opt::buildSlotTable(program);
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < program.tasks.size(); ++i)
+    for (const std::uint32_t* s = slots.inBegin(i); s != slots.inEnd(i); ++s)
+      if (p.place[*s].first != p.place[i].first)
+        pairs.emplace(p.place[*s].first, p.place[i].first);
+  std::uint64_t bytes = 0;
+  for (const auto& [src, tgt] : pairs)
+    if (const pipeline::EdgeComm* e =
+            comm.edge(p.stmtOf[src], p.stmtOf[tgt]))
+      bytes += e->totalBytes;
+  return bytes;
 }
 
 double sequentialTime(const scop::Scop& scop, const CostModel& model) {

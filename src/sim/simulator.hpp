@@ -11,9 +11,11 @@
 
 #include "codegen/task_program.hpp"
 #include "opt/optimizer.hpp"
+#include "pipeline/comm.hpp"
 #include "scop/scop.hpp"
 #include "trace/trace.hpp"
 
+#include <cstdint>
 #include <vector>
 
 namespace pipoly::sim {
@@ -24,6 +26,13 @@ struct CostModel {
   std::vector<double> iterationCost; // indexed by statement
   double taskOverhead = 0.0;         // per-task spawn/dispatch cost
   double dependOverhead = 0.0;       // per-in-dependency resolve cost
+  /// Communication term (channel route): seconds per byte moved across a
+  /// pipeline edge — the inter-stage transfer cost the task-depend model
+  /// hides inside dependOverhead. 0 models infinitely fast channels.
+  double commCostPerByte = 0.0;
+  /// Per-token channel cost (push + pop + the consumer's poll), the
+  /// channel analogue of taskOverhead/dependOverhead.
+  double channelTokenOverhead = 0.0;
 
   double taskCost(const codegen::Task& task) const {
     return taskOverhead +
@@ -84,6 +93,55 @@ SimResult simulate(const codegen::TaskProgram& program, const CostModel& model,
 SimResult simulate(const codegen::TaskProgram& program,
                    const opt::SlotTable& slots, const CostModel& model,
                    const SimConfig& config);
+
+/// Channel occupancy and communication load of one pipeline edge under
+/// the channel-route simulation.
+struct ChannelEdgeLoad {
+  std::size_t srcStmt = 0;
+  std::size_t tgtStmt = 0;
+  std::uint64_t totalBytes = 0; // from the communication analysis
+  double bytesPerToken = 0.0;   // totalBytes / producer task count
+  std::uint32_t capacitySlots = 0; // sized ring capacity (analysis)
+  std::uint32_t peakTokens = 0;    // simulated peak in-flight tokens
+};
+
+struct ChannelSimResult {
+  double makespan = 0.0;
+  double commTime = 0.0; // total edge-latency seconds paid (all tokens)
+  std::uint64_t bytesMoved = 0;
+  std::size_t numStages = 0;
+  std::vector<ChannelEdgeLoad> edges;
+
+  double speedupOver(double other) const {
+    return makespan > 0.0 ? other / makespan : 0.0;
+  }
+};
+
+/// Predicts the channel execution route (tasking/channel_backend): one
+/// persistent worker per statement stage, tasks in creation order within
+/// a stage, a cross-stage dependency satisfied `edgeLatency` after its
+/// producer finishes, where
+///   edgeLatency = channelTokenOverhead + commCostPerByte * bytesPerToken.
+/// Channels are modelled unbounded — capacities from the communication
+/// analysis are sized so a keeping-pace consumer never stalls its
+/// producer, so backpressure only binds when the consumer is the
+/// bottleneck anyway; the per-edge peak occupancy is reported so the
+/// sizing can be checked against the simulated schedule. Task bodies
+/// cost iterations x iterationCost only: the channel route spawns no
+/// tasks and resolves no dependency slots, which is exactly the overhead
+/// difference this model exposes against simulate().
+ChannelSimResult simulateChannels(const codegen::TaskProgram& program,
+                                  const pipeline::CommInfo& comm,
+                                  const CostModel& model);
+
+/// Bytes crossing statement boundaries through the program's dependency
+/// edges: for every statement pair connected by at least one cross-stage
+/// in-dependency, the analyzed volume of that pipeline edge. The
+/// optimizer's second objective — transitive reduction that removes the
+/// last dependency between two statements removes the whole channel, and
+/// this is the byte count that removal saves.
+std::uint64_t crossStageBytes(const codegen::TaskProgram& program,
+                              const pipeline::CommInfo& comm);
 
 /// Time of the original (un-pipelined) program: all iterations in order.
 double sequentialTime(const scop::Scop& scop, const CostModel& model);

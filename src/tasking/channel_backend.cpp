@@ -1,0 +1,862 @@
+#include "tasking/channel_backend.hpp"
+
+#include "opt/optimizer.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "support/assert.hpp"
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace pipoly::tasking {
+
+namespace {
+
+/// Communication-aware stage placement: partitions stages 0..S-1 into
+/// `workers` contiguous, non-empty ranges (stage order is statement
+/// order, i.e. pipeline order — data flows forward). Primary objective
+/// is load balance (max per-worker task count); among balanced splits it
+/// prefers cuts that sever the least channel traffic, so the heavy rings
+/// stay worker-local and cross-worker token ping-pong is minimized. The
+/// old round-robin (s % workers) put EVERY adjacent pair on different
+/// workers — the worst possible choice for a chain. O(S^2 * workers) DP,
+/// negligible next to ring allocation.
+std::vector<std::vector<std::size_t>>
+placeStages(std::size_t numStages, unsigned workers,
+            const std::vector<std::size_t>& stageTasks,
+            const std::vector<std::pair<std::pair<std::size_t, std::size_t>,
+                                        std::uint64_t>>& weightedEdges) {
+  // cutWeight[p]: traffic severed by a cut between stages p-1 and p.
+  std::vector<std::uint64_t> cutWeight(numStages + 1, 0);
+  for (const auto& [edge, weight] : weightedEdges) {
+    const auto [lo, hi] = std::minmax(edge.first, edge.second);
+    for (std::size_t p = lo + 1; p <= hi; ++p)
+      cutWeight[p] += weight;
+  }
+  std::vector<std::uint64_t> load(numStages + 1, 0);
+  for (std::size_t s = 0; s < numStages; ++s)
+    load[s + 1] = load[s] + stageTasks[s];
+
+  struct Cell {
+    std::uint64_t maxLoad = UINT64_MAX;
+    std::uint64_t cross = UINT64_MAX;
+    std::size_t prev = 0;
+  };
+  // dp[w][i]: stages [0, i) over w workers; lexicographic (maxLoad, cross).
+  std::vector<std::vector<Cell>> dp(workers + 1,
+                                    std::vector<Cell>(numStages + 1));
+  dp[0][0] = {0, 0, 0};
+  for (unsigned w = 1; w <= workers; ++w)
+    for (std::size_t i = w; i + (workers - w) <= numStages; ++i)
+      for (std::size_t j = w - 1; j < i; ++j) {
+        const Cell& base = dp[w - 1][j];
+        if (base.maxLoad == UINT64_MAX)
+          continue;
+        Cell cand{std::max(base.maxLoad, load[i] - load[j]),
+                  base.cross + (j != 0 ? cutWeight[j] : 0), j};
+        Cell& best = dp[w][i];
+        if (std::tie(cand.maxLoad, cand.cross) <
+            std::tie(best.maxLoad, best.cross))
+          best = cand;
+      }
+
+  std::vector<std::vector<std::size_t>> owned(workers);
+  std::size_t end = numStages;
+  for (unsigned w = workers; w >= 1; --w) {
+    const std::size_t begin = dp[w][end].prev;
+    for (std::size_t s = begin; s < end; ++s)
+      owned[w - 1].push_back(s);
+    end = begin;
+  }
+  return owned;
+}
+
+} // namespace
+
+/// The stage/edge state machines plus the persistent worker threads.
+/// Shared by ChannelPipeline (stages = statements of a TaskProgram) and
+/// the channel TaskingLayer (stages = out-dependency idx groups of one
+/// run's CreateTask calls).
+class ChannelEngine {
+public:
+  /// One directed channel: producer stage `src` feeds consumer `tgt`.
+  /// `reqTokens[k]` is the number of src tokens consumer task k needs
+  /// before it may run (0 = unconstrained). The builder monotonizes the
+  /// vector (running max): tasks run in order within a stage, so waiting
+  /// for the max-so-far adds no delay, and it guarantees the last task
+  /// of a batch needs that batch's tokens — which bounds the number of
+  /// outstanding batch acks to the reverse ring's capacity.
+  struct EdgeSpec {
+    std::size_t src = 0;
+    std::size_t tgt = 0;
+    std::uint32_t capacitySlots = 2;
+    /// Traffic estimate for worker placement (bytes per batch when the
+    /// communication analysis supplied it, 1 otherwise — edge count).
+    std::uint64_t weightBytes = 1;
+    /// No forward tokens — only the per-batch ack flows (tgt back to
+    /// src). Carries the write-after-read constraint for a reader whose
+    /// forward block edges transitive reduction removed entirely: the
+    /// reader still gets the data (in-batch ordering holds transitively
+    /// through the surviving chain), but without the ack the producer
+    /// would overwrite it batches ahead of the read.
+    bool ackOnly = false;
+    std::vector<std::uint64_t> reqTokens;
+  };
+
+  /// Runs one task: stage-local position `pos` of `stage`, batch `batch`.
+  using TaskRunner =
+      std::function<void(std::size_t stage, std::size_t pos,
+                         std::size_t batch)>;
+
+  ChannelEngine(std::vector<std::size_t> stageTasks,
+                std::vector<EdgeSpec> specs, unsigned numWorkers) {
+    const std::size_t numStages = stageTasks.size();
+    for (std::size_t s = 0; s < numStages; ++s) {
+      stages_.emplace_back();
+      stages_.back().numTasks = stageTasks[s];
+    }
+    for (EdgeSpec& spec : specs) {
+      PIPOLY_CHECK_MSG(spec.src < numStages && spec.tgt < numStages &&
+                           spec.src != spec.tgt,
+                       "channel edge endpoints out of range");
+      PIPOLY_CHECK_MSG(spec.reqTokens.size() == stageTasks[spec.tgt],
+                       "channel edge requirement vector size mismatch");
+      std::uint64_t runningMax = 0;
+      for (std::uint64_t& r : spec.reqTokens)
+        r = runningMax = std::max(runningMax, r);
+      // Token-ring sizing: comm-derived capacitySlots is a lower bound
+      // (it models data slots: the ASAP no-stall guarantee), but the
+      // ring itself carries 4-byte block indices, not data — the data
+      // lives in the arrays, whose footprint the batch acks already
+      // bound to one batch of skew. Sizing the ring below a producer
+      // batch therefore saves nothing and forces a consumer handoff
+      // every few tasks, which on an oversubscribed host is a context
+      // switch each. Two batches of tokens can be outstanding (producer
+      // one batch ahead, consumer not yet drained), hence the factor.
+      const std::uint32_t idx = static_cast<std::uint32_t>(edges_.size());
+      const std::uint32_t tokenCapacity = std::max<std::uint32_t>(
+          spec.capacitySlots,
+          static_cast<std::uint32_t>(
+              std::min<std::size_t>(2 * stageTasks[spec.src] + 2,
+                                    UINT32_MAX)));
+      edges_.emplace_back(spec.src, spec.tgt, tokenCapacity, spec.ackOnly,
+                          std::move(spec.reqTokens));
+      stages_[spec.src].outEdges.push_back(idx);
+      stages_[spec.tgt].inEdges.push_back(idx);
+    }
+    unsigned workers = numWorkers != 0
+                           ? numWorkers
+                           : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, std::max<std::size_t>(numStages, 1)));
+    numWorkers_ = workers;
+    std::vector<std::pair<std::pair<std::size_t, std::size_t>, std::uint64_t>>
+        weightedEdges;
+    weightedEdges.reserve(edges_.size());
+    for (std::size_t e = 0; e < edges_.size(); ++e)
+      weightedEdges.push_back({{edges_[e].src, edges_[e].tgt},
+                               std::max<std::uint64_t>(specs[e].weightBytes,
+                                                       1)});
+    ownedStages_ = numStages != 0
+                       ? placeStages(numStages, workers, stageTasks,
+                                     weightedEdges)
+                       : std::vector<std::vector<std::size_t>>(workers);
+    // One worker runs the whole network cooperatively on the calling
+    // thread; threads exist only when there is real parallelism to host.
+    if (workers > 1) {
+      threads_.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerMain(w); });
+    }
+  }
+
+  ~ChannelEngine() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_)
+      t.join();
+  }
+
+  std::size_t numStages() const { return stages_.size(); }
+  unsigned numWorkers() const { return numWorkers_; }
+
+  void run(std::size_t numBatches, const TaskRunner& runner) {
+    if (numBatches == 0)
+      return;
+    PIPOLY_CHECK_MSG(!running_.exchange(true),
+                     "overlapping runs on one channel engine");
+    struct Release {
+      std::atomic<bool>& flag;
+      ~Release() { flag.store(false); }
+    } release{running_};
+
+    resetRuntime(numBatches, &runner);
+    stats_.replays += 1;
+    stats_.batches += numBatches;
+    if (stages_.empty())
+      return;
+    if (threads_.empty()) {
+      WorkerStats local;
+      runStages(ownedStages_[0], local);
+      mergeStats(local);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        remaining_ = threads_.size();
+        ++runGen_;
+      }
+      cv_.notify_all();
+      std::unique_lock<std::mutex> lock(mutex_);
+      doneCv_.wait(lock, [this] { return remaining_ == 0; });
+    }
+    if (firstError_ != nullptr) {
+      std::exception_ptr error = firstError_;
+      firstError_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+  ChannelPipeline::Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  std::size_t retainedBytes() const {
+    std::size_t bytes = 0;
+    for (const Edge& e : edges_)
+      bytes += e.ring.storageBytes() + e.ack.storageBytes() +
+               e.reqTokens.capacity() * sizeof(std::uint64_t);
+    for (const Stage& s : stages_)
+      bytes += (s.inEdges.capacity() + s.outEdges.capacity()) *
+               sizeof(std::uint32_t);
+    bytes += stages_.size() * sizeof(Stage) + edges_.size() * sizeof(Edge);
+    return bytes;
+  }
+
+private:
+  struct Stage {
+    std::size_t numTasks = 0;
+    std::vector<std::uint32_t> inEdges;
+    std::vector<std::uint32_t> outEdges;
+    // Run state, owned by the stage's worker while a run is active.
+    std::size_t batch = 0;
+    std::size_t pos = 0;
+    std::atomic<bool> finished{false};
+  };
+
+  struct Edge {
+    Edge(std::size_t srcStage, std::size_t tgtStage, std::uint32_t capacity,
+         bool ackOnlyEdge, std::vector<std::uint64_t> req)
+        : src(srcStage), tgt(tgtStage), ackOnly(ackOnlyEdge),
+          reqTokens(std::move(req)), ring(ackOnlyEdge ? 2 : capacity),
+          ack(2) {}
+
+    std::size_t src;
+    std::size_t tgt;
+    bool ackOnly;
+    std::vector<std::uint64_t> reqTokens;
+    rt::SpscQueue<std::uint32_t> ring; // forward: block-completion tokens
+    rt::SpscQueue<std::uint8_t> ack;   // reverse: one token per batch
+    // Producer-side counters (written only by src's worker).
+    std::uint64_t pushed = 0;
+    std::uint64_t acksSeen = 0;
+    // Consumer-side counter (written only by tgt's worker).
+    std::uint64_t received = 0;
+  };
+
+  struct WorkerStats {
+    std::uint64_t tokensPushed = 0;
+    std::uint64_t pushStalls = 0;
+    std::uint64_t tokenWaits = 0;
+    std::uint64_t ackWaits = 0;
+  };
+
+  void resetRuntime(std::size_t numBatches, const TaskRunner* runner) {
+    numBatches_ = numBatches;
+    runner_ = runner;
+    abort_.store(false, std::memory_order_relaxed);
+    for (Stage& s : stages_) {
+      s.batch = 0;
+      s.pos = 0;
+      s.finished.store(false, std::memory_order_relaxed);
+    }
+    for (Edge& e : edges_) {
+      e.pushed = 0;
+      e.acksSeen = 0;
+      e.received = 0;
+      e.ring.resetUnsafe();
+      e.ack.resetUnsafe();
+    }
+  }
+
+  void mergeStats(const WorkerStats& local) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.tokensPushed += local.tokensPushed;
+    stats_.pushStalls += local.pushStalls;
+    stats_.tokenWaits += local.tokenWaits;
+    stats_.ackWaits += local.ackWaits;
+  }
+
+  void workerMain(unsigned w) {
+    std::uint64_t seenGen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || runGen_ > seenGen; });
+        if (stop_)
+          return;
+        seenGen = runGen_;
+      }
+      WorkerStats local;
+      runStages(ownedStages_[w], local);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.tokensPushed += local.tokensPushed;
+        stats_.pushStalls += local.pushStalls;
+        stats_.tokenWaits += local.tokenWaits;
+        stats_.ackWaits += local.ackWaits;
+        if (--remaining_ == 0)
+          doneCv_.notify_all();
+      }
+    }
+  }
+
+  void runStages(const std::vector<std::size_t>& owned, WorkerStats& local) {
+    unsigned idle = 0;
+    for (;;) {
+      if (abort_.load(std::memory_order_relaxed)) {
+        // Unwedge producers blocked on our rings, then bail out.
+        for (const std::size_t si : owned)
+          stages_[si].finished.store(true, std::memory_order_release);
+        return;
+      }
+      bool progress = false;
+      bool allDone = true;
+      for (const std::size_t si : owned) {
+        Stage& st = stages_[si];
+        if (st.finished.load(std::memory_order_relaxed))
+          continue;
+        try {
+          progress |= advanceStage(si, local);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (firstError_ == nullptr)
+              firstError_ = std::current_exception();
+          }
+          abort_.store(true, std::memory_order_release);
+        }
+        if (st.batch >= numBatches_)
+          st.finished.store(true, std::memory_order_release);
+        else
+          allDone = false;
+      }
+      if (allDone)
+        return;
+      if (progress) {
+        idle = 0;
+      } else if (++idle < 64) {
+        // Tight spin: tokens usually arrive within a few polls.
+      } else if (idle < 16384) {
+        // Long yield phase before sleeping: on an oversubscribed host a
+        // yield IS the handoff to the peer stage's worker (one scheduler
+        // pass), while a timed sleep parks this worker for a fixed 50us
+        // regardless of when the token arrives — at one batch of skew
+        // that sleep lands on the critical path of every batch.
+        std::this_thread::yield();
+      } else {
+        // Genuinely stalled: stop burning the core.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  /// Runs as many consecutive tasks of stage `si` as are currently
+  /// unblocked. Returns whether anything ran.
+  bool advanceStage(std::size_t si, WorkerStats& local) {
+    Stage& st = stages_[si];
+    bool progress = false;
+    while (st.batch < numBatches_) {
+      // Drain every in-ring into the received counters first: tokens are
+      // pure counts, so consuming early is always sound, and it frees
+      // producers even while this stage itself is blocked.
+      for (const std::uint32_t ei : st.inEdges) {
+        Edge& e = edges_[ei];
+        while (e.ring.tryPop())
+          ++e.received;
+      }
+      // Write-after-read batch barrier: batch b starts only after every
+      // direct consumer acked batch b-1.
+      if (st.pos == 0 && st.batch > 0) {
+        bool acksOk = true;
+        for (const std::uint32_t ei : st.outEdges) {
+          Edge& e = edges_[ei];
+          while (e.ack.tryPop())
+            ++e.acksSeen;
+          if (e.acksSeen < st.batch)
+            acksOk = false;
+        }
+        if (!acksOk) {
+          ++local.ackWaits;
+          break;
+        }
+      }
+      // The eq.-4 requirement of the next task, shifted by one producer
+      // batch of tokens per streamed batch.
+      bool tokensOk = true;
+      for (const std::uint32_t ei : st.inEdges) {
+        Edge& e = edges_[ei];
+        if (e.ackOnly) // no forward tokens ever flow on an ack-only edge
+          continue;
+        const std::uint64_t need =
+            static_cast<std::uint64_t>(st.batch) * stages_[e.src].numTasks +
+            e.reqTokens[st.pos];
+        if (e.received < need)
+          tokensOk = false;
+      }
+      if (!tokensOk) {
+        ++local.tokenWaits;
+        break;
+      }
+      // Space on every out-ring, checked before running the task: the
+      // pushes after the body can then never block. A finished consumer
+      // stopped draining, but also no longer needs tokens.
+      bool spaceOk = true;
+      for (const std::uint32_t ei : st.outEdges) {
+        Edge& e = edges_[ei];
+        if (!e.ackOnly &&
+            !stages_[e.tgt].finished.load(std::memory_order_acquire) &&
+            !e.ring.canPush()) {
+          spaceOk = false;
+          break;
+        }
+      }
+      if (!spaceOk) {
+        ++local.pushStalls;
+        break;
+      }
+      (*runner_)(si, st.pos, st.batch);
+      for (const std::uint32_t ei : st.outEdges) {
+        Edge& e = edges_[ei];
+        if (e.ackOnly)
+          continue;
+        ++e.pushed;
+        ++local.tokensPushed;
+        if (!e.ring.tryPush(static_cast<std::uint32_t>(st.pos)))
+          PIPOLY_CHECK_MSG(
+              stages_[e.tgt].finished.load(std::memory_order_acquire),
+              "SPSC push failed with a live consumer");
+      }
+      if (++st.pos == st.numTasks) {
+        st.pos = 0;
+        // Ack the finished batch upstream — except after the final
+        // batch, which nobody waits for (every ring ends the run empty).
+        if (st.batch + 1 < numBatches_)
+          for (const std::uint32_t ei : st.inEdges) {
+            const bool pushed = edges_[ei].ack.tryPush(1);
+            PIPOLY_CHECK_MSG(pushed, "batch-ack ring overflow");
+          }
+        ++st.batch;
+      }
+      progress = true;
+    }
+    return progress;
+  }
+
+  std::deque<Stage> stages_;
+  std::deque<Edge> edges_;
+  std::vector<std::vector<std::size_t>> ownedStages_;
+  std::vector<std::thread> threads_;
+  unsigned numWorkers_ = 1;
+
+  // Per-run state, published under mutex_ before workers wake.
+  std::size_t numBatches_ = 0;
+  const TaskRunner* runner_ = nullptr;
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable doneCv_;
+  std::uint64_t runGen_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr firstError_;
+  ChannelPipeline::Stats stats_;
+};
+
+namespace {
+
+/// Stage/edge plan of a TaskProgram: one stage per statement (in
+/// statement order), tasks in creation order within their stage.
+struct ProgramPlan {
+  std::vector<std::size_t> stageTasks;
+  std::vector<ChannelEngine::EdgeSpec> edges;
+  std::vector<std::vector<const codegen::Task*>> taskAt;
+};
+
+ProgramPlan buildProgramPlan(const codegen::TaskProgram& program,
+                             const pipeline::CommInfo* comm,
+                             std::uint32_t defaultCapacity) {
+  ProgramPlan plan;
+  // Stages: the statements that own at least one task, ascending.
+  std::vector<std::size_t> stageOf(program.numStatements, SIZE_MAX);
+  std::vector<std::size_t> stmtOf;
+  for (const codegen::Task& task : program.tasks)
+    if (stageOf[task.stmtIdx] == SIZE_MAX) {
+      stageOf[task.stmtIdx] = 0; // mark; index assigned below
+      stmtOf.push_back(task.stmtIdx);
+    }
+  std::sort(stmtOf.begin(), stmtOf.end());
+  for (std::size_t s = 0; s < stmtOf.size(); ++s)
+    stageOf[stmtOf[s]] = s;
+  plan.stageTasks.assign(stmtOf.size(), 0);
+  plan.taskAt.resize(stmtOf.size());
+
+  // (stage, stage-local position) of every task, in creation order.
+  std::vector<std::pair<std::size_t, std::size_t>> place(program.tasks.size());
+  for (std::size_t i = 0; i < program.tasks.size(); ++i) {
+    const std::size_t stage = stageOf[program.tasks[i].stmtIdx];
+    place[i] = {stage, plan.stageTasks[stage]++};
+    plan.taskAt[stage].push_back(&program.tasks[i]);
+  }
+
+  // Cross-stage dependencies become per-edge token requirements; the
+  // slot table resolves every in-dependency to its producer task once.
+  const opt::SlotTable slots = opt::buildSlotTable(program);
+  std::unordered_map<std::uint64_t, std::size_t> edgeIndex;
+  for (std::size_t i = 0; i < program.tasks.size(); ++i) {
+    const auto [stage, pos] = place[i];
+    for (auto it = slots.inBegin(i); it != slots.inEnd(i); ++it) {
+      const auto [srcStage, srcPos] = place[*it];
+      if (srcStage == stage) {
+        PIPOLY_CHECK_MSG(srcPos < pos,
+                         "same-stage dependency does not point backwards");
+        continue;
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(srcStage) << 32) | stage;
+      auto [slot, fresh] = edgeIndex.try_emplace(key, plan.edges.size());
+      if (fresh) {
+        ChannelEngine::EdgeSpec spec;
+        spec.src = srcStage;
+        spec.tgt = stage;
+        spec.capacitySlots =
+            comm != nullptr
+                ? comm->capacityFor(stmtOf[srcStage], stmtOf[stage],
+                                    defaultCapacity)
+                : defaultCapacity;
+        if (comm != nullptr)
+          if (const pipeline::EdgeComm* edge =
+                  comm->edge(stmtOf[srcStage], stmtOf[stage]))
+            spec.weightBytes = std::max<std::uint64_t>(edge->totalBytes, 1);
+        spec.reqTokens.assign(plan.stageTasks[stage], 0);
+        plan.edges.push_back(std::move(spec));
+      }
+      std::vector<std::uint64_t>& req = plan.edges[slot->second].reqTokens;
+      req[pos] = std::max(req[pos], static_cast<std::uint64_t>(srcPos + 1));
+    }
+  }
+
+  // Write-after-read coverage for reader pairs with no surviving forward
+  // edge (transitive reduction removes block edges implied by a longer
+  // path, but the reader still consumes the producer's arrays): an
+  // ack-only channel carries the reader's per-batch release back to the
+  // producer so it cannot lap a distant reader. See EdgeSpec::ackOnly.
+  const std::vector<std::vector<std::size_t>> readership =
+      codegen::statementReadership(program);
+  for (std::size_t s = 0; s < readership.size(); ++s) {
+    if (stageOf[s] == SIZE_MAX)
+      continue;
+    for (std::size_t r : readership[s]) {
+      if (r == s || stageOf[r] == SIZE_MAX)
+        continue;
+      const std::size_t srcStage = stageOf[s];
+      const std::size_t tgtStage = stageOf[r];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(srcStage) << 32) | tgtStage;
+      if (edgeIndex.find(key) != edgeIndex.end())
+        continue;
+      ChannelEngine::EdgeSpec spec;
+      spec.src = srcStage;
+      spec.tgt = tgtStage;
+      spec.ackOnly = true;
+      spec.reqTokens.assign(plan.stageTasks[tgtStage], 0);
+      edgeIndex.emplace(key, plan.edges.size());
+      plan.edges.push_back(std::move(spec));
+    }
+  }
+  return plan;
+}
+
+} // namespace
+
+ChannelPipeline::ChannelPipeline(
+    std::shared_ptr<const codegen::TaskProgram> program, Options options,
+    const pipeline::CommInfo* comm)
+    : program_(std::move(program)) {
+  PIPOLY_CHECK_MSG(program_ != nullptr,
+                   "ChannelPipeline needs a non-null program (it keeps the "
+                   "program alive for the tasks' raw pointers)");
+  trace::Span span("channel.compile");
+  ProgramPlan plan =
+      buildProgramPlan(*program_, comm, options.defaultCapacitySlots);
+  taskAt_ = std::move(plan.taskAt);
+  engine_ = std::make_unique<ChannelEngine>(
+      std::move(plan.stageTasks), std::move(plan.edges), options.numWorkers);
+}
+
+ChannelPipeline::ChannelPipeline(codegen::TaskProgram program, Options options,
+                                 const pipeline::CommInfo* comm)
+    : ChannelPipeline(std::make_shared<const codegen::TaskProgram>(
+                          std::move(program)),
+                      options, comm) {}
+
+ChannelPipeline::~ChannelPipeline() = default;
+
+std::size_t ChannelPipeline::numStages() const { return engine_->numStages(); }
+unsigned ChannelPipeline::numWorkers() const { return engine_->numWorkers(); }
+
+void ChannelPipeline::replay(const StatementExecutor& exec) {
+  trace::Span span("channel.run");
+  engine_->run(1, [this, &exec](std::size_t stage, std::size_t pos,
+                                std::size_t) {
+    const codegen::Task& task = *taskAt_[stage][pos];
+    for (const pb::Tuple& it : task.iterations)
+      exec(task.stmtIdx, it);
+  });
+}
+
+void ChannelPipeline::replayBatches(std::size_t numBatches,
+                                    const BatchStatementExecutor& exec) {
+  if (numBatches == 0)
+    return;
+  trace::Span span("channel.stream");
+  trace::counter("channel.batches", static_cast<double>(numBatches));
+  engine_->run(numBatches, [this, &exec](std::size_t stage, std::size_t pos,
+                                         std::size_t batch) {
+    const codegen::Task& task = *taskAt_[stage][pos];
+    for (const pb::Tuple& it : task.iterations)
+      exec(batch, task.stmtIdx, it);
+  });
+}
+
+ChannelPipeline::Stats ChannelPipeline::stats() const {
+  return engine_->stats();
+}
+
+std::size_t ChannelPipeline::retainedBytes() const {
+  std::size_t bytes = engine_->retainedBytes();
+  for (const std::vector<const codegen::Task*>& stage : taskAt_)
+    bytes += stage.capacity() * sizeof(const codegen::Task*);
+  return bytes;
+}
+
+namespace {
+
+/// The channel TaskingLayer: buffer one run's CreateTask calls on the
+/// spawner thread, then execute them through a per-run channel engine.
+/// Stages are the distinct out-dependency idx values in first-appearance
+/// order; last-writer (idx, tag) resolution matches the other backends.
+class ChannelBackend final : public TaskingLayer {
+public:
+  explicit ChannelBackend(ChannelOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "channel"; }
+
+  void reserveDependencySlots(std::size_t numSlots) override {
+    PIPOLY_CHECK_MSG(inRun_, "reserveDependencySlots outside of run()");
+    denseWriter_.assign(numSlots, kNoWriter);
+  }
+
+  void createTask(TaskFunction f, const void* input, std::size_t inputSize,
+                  std::int64_t outDepend, int outIdx,
+                  const std::int64_t* inDepend, const int* inIdx,
+                  std::size_t dependNum) override {
+    PIPOLY_CHECK_MSG(inRun_, "createTask outside of run()");
+    Rec rec;
+    rec.fn = f;
+    rec.payloadOffset = arena_.size();
+    rec.payloadSize = inputSize;
+    if (inputSize != 0) {
+      arena_.resize(arena_.size() + inputSize);
+      std::memcpy(arena_.data() + rec.payloadOffset, input, inputSize);
+    }
+    rec.outIdx = outIdx;
+    rec.depBegin = producers_.size();
+    for (std::size_t k = 0; k < dependNum; ++k) {
+      std::size_t producer = kNoWriter;
+      if (isDense(inIdx[k], inDepend[k]))
+        producer = denseWriter_[static_cast<std::size_t>(inDepend[k])];
+      else {
+        const auto it = lastWriter_.find(key(inIdx[k], inDepend[k]));
+        if (it != lastWriter_.end())
+          producer = it->second;
+      }
+      if (producer != kNoWriter)
+        producers_.push_back(producer);
+    }
+    rec.depEnd = producers_.size();
+    const std::size_t id = recs_.size();
+    if (isDense(outIdx, outDepend))
+      denseWriter_[static_cast<std::size_t>(outDepend)] = id;
+    else
+      lastWriter_[key(outIdx, outDepend)] = id;
+    recs_.push_back(rec);
+  }
+
+  void run(const std::function<void()>& spawner) override {
+    PIPOLY_CHECK_MSG(!inRun_, "nested run() on the channel backend");
+    inRun_ = true;
+    try {
+      spawner();
+      execute();
+    } catch (...) {
+      reset();
+      inRun_ = false;
+      throw;
+    }
+    reset();
+    inRun_ = false;
+  }
+
+  std::size_t retainedBytes() const override {
+    return recs_.capacity() * sizeof(Rec) + arena_.capacity() +
+           producers_.capacity() * sizeof(std::size_t) +
+           denseWriter_.capacity() * sizeof(std::size_t) +
+           lastWriter_.bucket_count() *
+               (sizeof(void*) +
+                sizeof(std::pair<const std::uint64_t, std::size_t>));
+  }
+
+private:
+  struct Rec {
+    TaskFunction fn = nullptr;
+    std::size_t payloadOffset = 0;
+    std::size_t payloadSize = 0;
+    int outIdx = 0;
+    std::size_t depBegin = 0;
+    std::size_t depEnd = 0;
+  };
+
+  static constexpr std::size_t kNoWriter = SIZE_MAX;
+
+  static std::uint64_t key(int idx, std::int64_t tag) {
+    // idx is a statement slot (small); fold it above the tag bits.
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(idx))
+            << 48) ^
+           static_cast<std::uint64_t>(tag);
+  }
+
+  bool isDense(int idx, std::int64_t tag) const {
+    return idx == 0 && tag >= 0 &&
+           static_cast<std::size_t>(tag) < denseWriter_.size();
+  }
+
+  void execute() {
+    if (recs_.empty())
+      return;
+    // Stages by out-dependency idx, in first-appearance order; tasks in
+    // creation order within their stage.
+    std::unordered_map<int, std::size_t> stageOf;
+    std::vector<std::size_t> stageTasks;
+    std::vector<std::pair<std::size_t, std::size_t>> place(recs_.size());
+    std::vector<std::vector<std::size_t>> taskAt;
+    for (std::size_t i = 0; i < recs_.size(); ++i) {
+      const auto [it, fresh] =
+          stageOf.try_emplace(recs_[i].outIdx, stageTasks.size());
+      if (fresh) {
+        stageTasks.push_back(0);
+        taskAt.emplace_back();
+      }
+      place[i] = {it->second, stageTasks[it->second]++};
+      taskAt[it->second].push_back(i);
+    }
+    std::vector<ChannelEngine::EdgeSpec> specs;
+    std::unordered_map<std::uint64_t, std::size_t> edgeIndex;
+    for (std::size_t i = 0; i < recs_.size(); ++i) {
+      const auto [stage, pos] = place[i];
+      for (std::size_t d = recs_[i].depBegin; d < recs_[i].depEnd; ++d) {
+        const auto [srcStage, srcPos] = place[producers_[d]];
+        if (srcStage == stage)
+          continue; // in-order execution within the stage covers it
+        const std::uint64_t k =
+            (static_cast<std::uint64_t>(srcStage) << 32) | stage;
+        auto [slot, fresh] = edgeIndex.try_emplace(k, specs.size());
+        if (fresh) {
+          ChannelEngine::EdgeSpec spec;
+          spec.src = srcStage;
+          spec.tgt = stage;
+          spec.capacitySlots = options_.defaultCapacitySlots;
+          spec.reqTokens.assign(stageTasks[stage], 0);
+          specs.push_back(std::move(spec));
+        }
+        std::vector<std::uint64_t>& req = specs[slot->second].reqTokens;
+        req[pos] = std::max(req[pos], static_cast<std::uint64_t>(srcPos + 1));
+      }
+    }
+    ChannelEngine engine(std::move(stageTasks), std::move(specs),
+                         options_.numWorkers);
+    engine.run(1, [this, &taskAt](std::size_t stage, std::size_t pos,
+                                  std::size_t) {
+      const Rec& rec = recs_[taskAt[stage][pos]];
+      rec.fn(rec.payloadSize != 0 ? arena_.data() + rec.payloadOffset
+                                  : nullptr);
+    });
+  }
+
+  void reset() {
+    // Reuse-or-release, mirroring the threadpool backend: keep the
+    // high-water capacity for steady-state replays, release it once a
+    // run needs much less than what is retained.
+    const std::size_t usedRecs = recs_.size();
+    const std::size_t usedArena = arena_.size();
+    const std::size_t usedProducers = producers_.size();
+    const std::size_t usedHash = lastWriter_.size();
+    const std::size_t usedDense = denseWriter_.size();
+    recs_.clear();
+    arena_.clear();
+    producers_.clear();
+    lastWriter_.clear();
+    denseWriter_.clear();
+    if (recs_.capacity() > 2 * std::max<std::size_t>(usedRecs, 64))
+      decltype(recs_)().swap(recs_);
+    if (arena_.capacity() > 2 * std::max<std::size_t>(usedArena, 1024))
+      decltype(arena_)().swap(arena_);
+    if (producers_.capacity() > 2 * std::max<std::size_t>(usedProducers, 64))
+      decltype(producers_)().swap(producers_);
+    if (lastWriter_.bucket_count() > 2 * std::max<std::size_t>(usedHash, 16))
+      decltype(lastWriter_)().swap(lastWriter_);
+    if (denseWriter_.capacity() > 2 * std::max<std::size_t>(usedDense, 64))
+      decltype(denseWriter_)().swap(denseWriter_);
+  }
+
+  ChannelOptions options_;
+  bool inRun_ = false;
+  std::vector<Rec> recs_;
+  std::vector<char> arena_;
+  std::vector<std::size_t> producers_;
+  std::unordered_map<std::uint64_t, std::size_t> lastWriter_;
+  std::vector<std::size_t> denseWriter_;
+};
+
+} // namespace
+
+std::unique_ptr<TaskingLayer> makeChannelBackend(ChannelOptions options) {
+  return std::make_unique<ChannelBackend>(options);
+}
+
+} // namespace pipoly::tasking

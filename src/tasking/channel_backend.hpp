@@ -1,0 +1,127 @@
+#pragma once
+
+// The channel execution route: pipeline stages as persistent workers
+// connected by bounded lock-free SPSC rings (rt::SpscQueue) carrying
+// block-completion tokens — the process-network alternative to the
+// task-depend route (Alias, *Improving Communication Patterns in
+// Polyhedral Process Networks*).
+//
+// One stage per statement (chain fusion inside a statement reduces the
+// token traffic but never merges statements, so the fused program's
+// statements *are* the stages). Stage workers run a cooperative state
+// machine: a stage executes its next task once
+//   * every in-edge delivered the tokens the task's eq.-4 requirement
+//     asks for (tokens are drained eagerly into a counter at every poll,
+//     so a full ring never wedges the producer), and
+//   * every out-edge ring has a free slot (checked *before* executing —
+//     the push after the task body can then never block).
+// Stages are multiplexed round-robin onto the workers, so the engine
+// degrades gracefully to one thread on small machines (one worker runs
+// the whole network cooperatively on the calling thread, no spawns).
+//
+// There is no per-block task creation, no dependency hashing and no
+// shared ready-counter cache lines: the only cross-thread traffic is the
+// ring head/tail pair of each edge. Backpressure is by construction —
+// a producer stage stalls (skips to another owned stage) when a ring is
+// full, i.e. when its consumer genuinely fell behind by more than the
+// sized capacity.
+//
+// Streaming: replayBatches() runs the whole network `numBatches` times
+// with consecutive batches overlapped. Requirements shift by one
+// producer-batch of tokens per batch, and a write-after-read barrier
+// keeps the skew bounded: a stage may enter batch b+1 only after every
+// direct consumer finished batch b (one ack token per edge and batch on
+// a small reverse ring) — the same skew-<=-1 guarantee the replay
+// graph's anti tokens give, so with shared state the result equals
+// back-to-back replay() calls, exactly like CompiledPipeline.
+//
+// Ring capacities come from the communication analysis
+// (pipeline::analyzeCommunication): the per-edge peak in-flight token
+// count of the ASAP lockstep schedule, so a consumer keeping pace never
+// stalls its producer. Edges without an analyzed capacity use
+// ChannelOptions::defaultCapacitySlots.
+
+#include "codegen/task_program.hpp"
+#include "pipeline/comm.hpp"
+#include "tasking/replay_executor.hpp"
+#include "tasking/tasking.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace pipoly::tasking {
+
+struct ChannelOptions {
+  /// Worker threads for the stage state machines. 0 = min(stage count,
+  /// hardware concurrency). 1 runs the whole network cooperatively on
+  /// the calling thread (no worker spawns at all).
+  unsigned numWorkers = 0;
+  /// Ring capacity for edges the communication analysis did not size.
+  std::uint32_t defaultCapacitySlots = 8;
+};
+
+/// A TaskProgram compiled onto the channel engine: built once (stages,
+/// edges, rings, persistent workers), replayed many times. The same
+/// ownership and non-reentrancy contracts as CompiledPipeline.
+class ChannelPipeline {
+public:
+  using Options = ChannelOptions;
+
+  /// `comm` (optional, borrowed only during construction) sizes the
+  /// per-edge rings; its edges are keyed by statement pair.
+  explicit ChannelPipeline(std::shared_ptr<const codegen::TaskProgram> program,
+                           Options options = {},
+                           const pipeline::CommInfo* comm = nullptr);
+  explicit ChannelPipeline(codegen::TaskProgram program, Options options = {},
+                           const pipeline::CommInfo* comm = nullptr);
+  ~ChannelPipeline();
+
+  ChannelPipeline(const ChannelPipeline&) = delete;
+  ChannelPipeline& operator=(const ChannelPipeline&) = delete;
+
+  const codegen::TaskProgram& program() const { return *program_; }
+  std::size_t numStages() const;
+  unsigned numWorkers() const;
+
+  /// One run of the program through the channel network.
+  void replay(const StatementExecutor& exec);
+
+  /// Streams `numBatches` runs with bounded batch skew (see above).
+  void replayBatches(std::size_t numBatches,
+                     const BatchStatementExecutor& exec);
+
+  struct Stats {
+    std::uint64_t replays = 0; // replay() + replayBatches() calls
+    std::uint64_t batches = 0;
+    std::uint64_t tokensPushed = 0;
+    /// Polls where a stage could not run its next task: a full out-ring
+    /// (backpressure) / missing in-tokens / missing batch acks.
+    std::uint64_t pushStalls = 0;
+    std::uint64_t tokenWaits = 0;
+    std::uint64_t ackWaits = 0;
+  };
+  Stats stats() const;
+
+  /// Bytes held between replays: ring storage, stage/edge tables.
+  std::size_t retainedBytes() const;
+
+private:
+  std::shared_ptr<const codegen::TaskProgram> program_;
+  /// Per stage, the program's tasks in stage-local position order.
+  std::vector<std::vector<const codegen::Task*>> taskAt_;
+  std::unique_ptr<class ChannelEngine> engine_;
+};
+
+/// The fourth TaskingLayer ("channel"): buffers the CreateTask calls of
+/// one run() on the spawner thread, partitions them into stages by their
+/// out-dependency idx (the generated code publishes the statement index
+/// there), resolves the last-writer dependencies to stage-local token
+/// requirements, and executes the run through the channel engine. The
+/// dense-slot protocol (idx always 0) degenerates to a single serial
+/// stage — correct, but the stage structure worth running concurrently
+/// only reaches this backend through the generic protocol or through
+/// ChannelPipeline.
+std::unique_ptr<TaskingLayer> makeChannelBackend(ChannelOptions options = {});
+
+} // namespace pipoly::tasking

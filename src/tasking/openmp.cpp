@@ -123,11 +123,13 @@ public:
     funcCount_.clear();
     funcSlotIndex_.clear();
     denseSlots_.clear();
+    slotsCapacity_ = std::max(slotsCapacity_, usedSlots);
     if (slotsCapacity_ > 2 * std::max<std::size_t>(usedSlots, 64)) {
+      // Released storage must drop out of the accounting too — raising
+      // the high-water afterwards would resurrect it in retainedBytes().
       decltype(slots_)().swap(slots_);
       slotsCapacity_ = 0;
     }
-    slotsCapacity_ = std::max(slotsCapacity_, usedSlots);
     if (slotIndex_.bucket_count() > 2 * std::max<std::size_t>(usedIndex, 16))
       decltype(slotIndex_)().swap(slotIndex_);
     if (funcCount_.bucket_count() > 2 * std::max<std::size_t>(usedFuncs, 16))

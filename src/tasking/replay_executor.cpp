@@ -1,6 +1,7 @@
 #include "tasking/replay_executor.hpp"
 
 #include "support/assert.hpp"
+#include "tasking/channel_backend.hpp"
 #include "tasking/task_launch.hpp"
 #include "trace/trace.hpp"
 
@@ -77,6 +78,9 @@ CompiledPipeline::CompiledPipeline(codegen::TaskProgram program,
                            std::move(program)),
                        options) {}
 
+// Out of line: ChannelPipeline is incomplete in the header.
+CompiledPipeline::~CompiledPipeline() = default;
+
 void CompiledPipeline::compile(const opt::SlotTable* slots) {
   trace::Span span("replay.compile");
   numThreads_ = options_.numThreads != 0
@@ -103,6 +107,37 @@ void CompiledPipeline::compile(const opt::SlotTable* slots) {
     preds.assign(slots->inBegin(i), slots->inEnd(i));
     graph_.addNode(preds);
   }
+  // One batch group per statement: forward reads inside a statement's
+  // iteration space (self neighbourhoods) make later blocks batch-b
+  // writers of data earlier blocks read in batch b+1 — a backward
+  // dependence no RAW edge captures. Grouping keeps each statement
+  // batch-serial while statements still overlap, matching the channel
+  // route's stage semantics (see ReplayGraph's class comment).
+  {
+    const std::size_t numStmts = program_->numStatements;
+    std::vector<std::vector<rt::ReplayGraph::NodeId>> byStmt(numStmts);
+    for (std::size_t i = 0; i < n; ++i)
+      byStmt[program_->tasks[i].stmtIdx].push_back(
+          static_cast<rt::ReplayGraph::NodeId>(i));
+    std::vector<std::uint32_t> stmtGroup;
+    stmtGroup.reserve(numStmts);
+    for (const std::vector<rt::ReplayGraph::NodeId>& members : byStmt)
+      stmtGroup.push_back(graph_.addBatchGroup(members));
+
+    // Cross-statement anti edges: a writer statement may not start batch
+    // b+1 before every statement reading its output finished batch b.
+    // The per-node anti tokens cover direct graph consumers only, and
+    // transitive reduction can remove ALL direct edges between a
+    // producer/reader pair whose block edges are implied by a longer
+    // path — statementReadership carries the relation independently.
+    const std::vector<std::vector<std::size_t>> readers =
+        codegen::statementReadership(*program_);
+    for (std::size_t s = 0; s < numStmts; ++s)
+      for (std::size_t r : readers[s])
+        if (r != s && stmtGroup[s] != rt::ReplayGraph::kNoGroup &&
+            stmtGroup[r] != rt::ReplayGraph::kNoGroup)
+          graph_.addGroupAntiEdge(stmtGroup[r], stmtGroup[s]);
+  }
   graph_.freeze();
 
   // Linear chain: task 0 is free and task i depends exactly on i - 1.
@@ -114,6 +149,14 @@ void CompiledPipeline::compile(const opt::SlotTable* slots) {
     else
       linear_ = k == 1 &&
                 flatInSlots_[inOffsets_[i]] == static_cast<std::int64_t>(i - 1);
+  }
+
+  if (options_.channels) {
+    ChannelOptions channelOptions;
+    channelOptions.numWorkers = options_.numThreads;
+    channelOptions.defaultCapacitySlots = options_.channelCapacitySlots;
+    channels_ = std::make_unique<ChannelPipeline>(program_, channelOptions,
+                                                  options_.comm);
   }
 }
 
@@ -137,6 +180,10 @@ void CompiledPipeline::replay(const StatementExecutor& exec) {
   ReplayGuard guard(*this);
   trace::Span span("replay.run");
   ++stats_.replays;
+  if (channels_ != nullptr) {
+    channels_->replay(exec);
+    return;
+  }
   const BatchStatementExecutor batched = dropBatch(exec);
   if ((linear_ && options_.linearFastPath) || numThreads_ == 1 ||
       program_->tasks.size() <= 1) {
@@ -157,6 +204,10 @@ void CompiledPipeline::replayBatches(std::size_t numBatches,
   trace::Span span("replay.stream");
   trace::counter("replay.batches", static_cast<double>(numBatches));
   stats_.batches += numBatches;
+  if (channels_ != nullptr) {
+    channels_->replayBatches(numBatches, exec);
+    return;
+  }
   // Streaming a linear chain is the classic Pipeflow case: parallelism
   // comes from overlapping batches, so the chain goes through the graph
   // machinery — only a single-threaded pipeline runs batches in-order.
@@ -167,6 +218,16 @@ void CompiledPipeline::replayBatches(std::size_t numBatches,
   ensurePool();
   ReplayRun run{program_.get(), &exec};
   pool_->runGraph(graph_, numBatches, &runGraphNode, &run);
+}
+
+std::size_t CompiledPipeline::retainedBytes() const {
+  std::size_t bytes = graph_.storageBytes();
+  bytes += flatInSlots_.capacity() * sizeof(std::int64_t) +
+           flatInIdx_.capacity() * sizeof(int) +
+           inOffsets_.capacity() * sizeof(std::uint32_t);
+  if (channels_ != nullptr)
+    bytes += channels_->retainedBytes();
+  return bytes;
 }
 
 void CompiledPipeline::replayThrough(TaskingLayer& layer,

@@ -51,7 +51,13 @@
 #include <cstdint>
 #include <memory>
 
+namespace pipoly::pipeline {
+struct CommInfo;
+} // namespace pipoly::pipeline
+
 namespace pipoly::tasking {
+
+class ChannelPipeline;
 
 /// Executes one dynamic statement instance of one batch of a stream.
 using BatchStatementExecutor = std::function<void(
@@ -68,6 +74,18 @@ struct ReplayOptions {
   /// Allow the serial in-order fast path when the program is a single
   /// linear chain (mostly a testing/benchmarking toggle).
   bool linearFastPath = true;
+  /// Route replay()/replayBatches() through the channel engine
+  /// (tasking/channel_backend.hpp): persistent per-stage workers
+  /// connected by bounded SPSC token rings instead of the ready-counter
+  /// graph. Same results, no shared counter cache lines, backpressure by
+  /// construction. replayThrough() is unaffected.
+  bool channels = false;
+  /// Optional communication analysis (pipeline::analyzeCommunication of
+  /// the SCoP this program was compiled from) used to size the per-edge
+  /// rings on the channel route. Borrowed only during construction.
+  const pipeline::CommInfo* comm = nullptr;
+  /// Ring capacity for channel edges `comm` did not size.
+  std::uint32_t channelCapacitySlots = 8;
 };
 
 class CompiledPipeline {
@@ -90,6 +108,8 @@ public:
   explicit CompiledPipeline(codegen::TaskProgram program,
                             Options options = {});
 
+  ~CompiledPipeline();
+
   const codegen::TaskProgram& program() const { return *program_; }
   std::size_t numTasks() const { return program_->tasks.size(); }
   unsigned numThreads() const { return numThreads_; }
@@ -99,6 +119,15 @@ public:
   /// program admits a single execution order, so replay() runs it
   /// in-order on the calling thread with zero scheduling overhead.
   bool linear() const { return linear_; }
+
+  /// True when replays run through the channel engine (options.channels).
+  bool channelRoute() const { return channels_ != nullptr; }
+
+  /// Approximate bytes kept allocated between replays: the frozen graph
+  /// (ready counters + CSR adjacency), the pre-interned slot arrays, and
+  /// — on the channel route — the per-edge rings and stage tables. Same
+  /// diagnostic contract as TaskingLayer::retainedBytes().
+  std::size_t retainedBytes() const;
 
   /// Re-executes the compiled program once. Blocks until every task
   /// finished; rethrows the first exception thrown by `exec`.
@@ -142,6 +171,7 @@ private:
   std::vector<int> flatInIdx_;
   std::vector<std::uint32_t> inOffsets_;
   std::unique_ptr<rt::DependencyThreadPool> pool_; // lazily created
+  std::unique_ptr<ChannelPipeline> channels_;      // options.channels route
   std::atomic<bool> replaying_{false};
   Stats stats_;
 };
