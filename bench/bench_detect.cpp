@@ -8,9 +8,15 @@
 // Algorithm-1 work, grows with the statement count.
 //
 // Usage:
-//   bench_detect [--smoke] [--suite] [--parametric] [--detect-cache]
-//                [--json=FILE] [--trace=FILE] [threads...]
+//   bench_detect [--smoke] [--suite] [--parametric] [--reduction]
+//                [--detect-cache] [--json=FILE] [--trace=FILE] [threads...]
 //                                              (default threads: 2 4 8)
+//
+// --reduction benchmarks reductionMode=off vs auto over the reduction
+// kernel grid and gates on the partial-reduction structure (exactly one
+// relaxed statement per kernel, >1 partial block, one combine task);
+// with --smoke it runs the small CI configuration. --json=FILE writes
+// BENCH_reduction.json.
 //
 // --parametric times the N-independent route (detectParametric +
 // closed-form summaries) on the regular suite programs at N up to 10^6
@@ -37,6 +43,8 @@
 #include "pipeline/param_detect.hpp"
 
 #include "bench_common.hpp"
+#include "codegen/task_program.hpp"
+#include "kernels/reduction_kernels.hpp"
 #include "kernels/suite.hpp"
 #include "scop/builder.hpp"
 #include "support/stopwatch.hpp"
@@ -415,6 +423,100 @@ int runParametric(const std::string& jsonPath) {
   return 0;
 }
 
+/// Reduction-aware detection over the reduction kernel grid
+/// (EXPERIMENTS.md E21): reductionMode=off vs auto on dot-product-chain,
+/// histogram and stencil-accumulate, reporting detection cost and the
+/// per-accumulation-statement block counts. Gates (also the CI smoke
+/// hook): auto classifies exactly one reduction statement per kernel,
+/// splits it into more than one partial block, never into fewer blocks
+/// than the off route, and the lowering emits exactly one combine task.
+/// --json=FILE writes the table as BENCH_reduction.json.
+int runReduction(bool smoke, const std::string& jsonPath) {
+  const pb::Value n = smoke ? 16 : 48;
+  const int kReps = smoke ? 1 : 10;
+  using RMode = pipeline::DetectOptions::ReductionMode;
+
+  pipoly::bench::Table table({"kernel", "off_ms", "auto_ms", "stmt_blocks_off",
+                              "stmt_blocks_auto", "combine_tasks", "status"});
+  pipoly::bench::JsonReport json;
+  json.meta("mode", pipoly::bench::JsonReport::str("reduction"));
+  json.meta("n", pipoly::bench::JsonReport::num(static_cast<std::uint64_t>(n)));
+  json.meta("reps", pipoly::bench::JsonReport::num(
+                        static_cast<std::uint64_t>(kReps)));
+  int failures = 0;
+
+  for (const kernels::ReductionKernelSpec& spec : kernels::reductionKernels()) {
+    const scop::Scop scop = spec.build(n);
+    const auto timeMode = [&](RMode mode, pipeline::PipelineInfo* out) {
+      pipeline::DetectOptions opt;
+      opt.reductionMode = mode;
+      // The off route needs the §7 knob for the non-injective
+      // accumulation write, exactly as a legacy run would.
+      opt.allowNonInjectiveWrites = mode == RMode::Off;
+      double best = 0;
+      for (int r = 0; r < kReps; ++r) {
+        Stopwatch sw;
+        pipeline::PipelineInfo info = pipeline::detectPipeline(scop, opt);
+        const double t = sw.seconds();
+        if (r == 0 || t < best)
+          best = t;
+        if (out && r == 0)
+          *out = std::move(info);
+      }
+      return best;
+    };
+
+    pipeline::PipelineInfo off, aut;
+    const double offSec = timeMode(RMode::Off, &off);
+    const double autSec = timeMode(RMode::Auto, &aut);
+    const std::size_t offBlocks =
+        off.statements[spec.reductionStmt].blockReps.size();
+    const std::size_t autBlocks =
+        aut.statements[spec.reductionStmt].blockReps.size();
+
+    pipeline::DetectOptions autoOpt;
+    const codegen::TaskProgram prog = codegen::compilePipeline(scop, autoOpt);
+    std::size_t combines = 0;
+    for (const codegen::Task& t : prog.tasks)
+      combines += t.kind == codegen::TaskKind::ReductionCombine ? 1 : 0;
+
+    const bool ok = aut.stats.reductionStatements == 1 &&
+                    aut.statements[spec.reductionStmt].reduction.relaxed &&
+                    autBlocks > 1 && autBlocks >= offBlocks && combines == 1;
+    failures += ok ? 0 : 1;
+    table.addRow({spec.name, pipoly::bench::fmt(offSec * 1e3, 3),
+                  pipoly::bench::fmt(autSec * 1e3, 3),
+                  std::to_string(offBlocks), std::to_string(autBlocks),
+                  std::to_string(combines), ok ? "ok" : "FAIL"});
+    json.beginProgram(spec.name);
+    json.field("off_ms", pipoly::bench::JsonReport::num(offSec * 1e3));
+    json.field("auto_ms", pipoly::bench::JsonReport::num(autSec * 1e3));
+    json.field("stmt_blocks_off", pipoly::bench::JsonReport::num(
+                                      static_cast<std::uint64_t>(offBlocks)));
+    json.field("stmt_blocks_auto", pipoly::bench::JsonReport::num(
+                                       static_cast<std::uint64_t>(autBlocks)));
+    json.field("combine_tasks", pipoly::bench::JsonReport::num(
+                                    static_cast<std::uint64_t>(combines)));
+    json.field("ok", ok ? "true" : "false");
+  }
+
+  std::printf("bench_detect --reduction: reduction kernel grid, N=%lld "
+              "(best-of-%d)\n",
+              static_cast<long long>(n), kReps);
+  table.print();
+  if (!jsonPath.empty() && !json.write("bench_detect_reduction", jsonPath))
+    return 1;
+  if (failures != 0) {
+    std::printf("bench_detect --reduction: FAIL — %d kernel(s) missed the "
+                "partial-reduction gates\n",
+                failures);
+    return 1;
+  }
+  std::printf("bench_detect --reduction: OK — every accumulation nest "
+              "splits into parallel partial blocks plus one combine\n");
+  return 0;
+}
+
 } // namespace
 
 namespace {
@@ -440,6 +542,7 @@ int main(int argc, char** argv) {
   std::vector<unsigned> threadCounts;
   std::string tracePath, jsonPath;
   bool smoke = false, suite = false, parametric = false, useCache = false;
+  bool reduction = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0)
       smoke = true;
@@ -447,6 +550,8 @@ int main(int argc, char** argv) {
       suite = true;
     else if (std::strcmp(argv[a], "--parametric") == 0)
       parametric = true;
+    else if (std::strcmp(argv[a], "--reduction") == 0)
+      reduction = true;
     else if (std::strcmp(argv[a], "--detect-cache") == 0)
       useCache = true;
     else if (std::strncmp(argv[a], "--trace=", 8) == 0)
@@ -463,6 +568,11 @@ int main(int argc, char** argv) {
     session.start();
   }
 
+  if (reduction) {
+    const int rc = runReduction(smoke, jsonPath);
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
+  }
   if (smoke) {
     const int rc = runSmoke(useCache);
     const int traceRc = dumpTrace(session, tracePath);

@@ -30,6 +30,13 @@
 // chains are the route's worst case — no cross-stage overlap to win, all
 // token traffic to lose).
 //
+// `--reduction` runs the reduction kernel grid (experiment E21): the
+// sequential oracle, the legacy serialized route (reductionMode=off) and
+// the partial-reduction route (privatized partial accumulators plus one
+// combine task) must all produce the same exact integer fingerprint,
+// with compile-once replay throughput reported per kernel. With
+// `--smoke` it is the CI gate: any mismatch exits non-zero.
+//
 // `--json=FILE` writes the measurements of any mode as machine-readable
 // JSON (BENCH_real_execution.json / BENCH_channel.json), in the
 // bench_detect --json schema.
@@ -41,6 +48,8 @@
 
 #include "codegen/task_program.hpp"
 #include "kernels/compute.hpp"
+#include "kernels/reduction_kernels.hpp"
+#include "kernels/reduction_runner.hpp"
 #include "kernels/suite.hpp"
 #include "kernels/suite_runner.hpp"
 #include "opt/optimizer.hpp"
@@ -253,6 +262,116 @@ int runReplay(bool smoke, const std::string& jsonPath) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Reduction kernel grid execution (EXPERIMENTS.md E21): the sequential
+/// oracle, the legacy serialized route (reductionMode=off) and the
+/// partial-reduction route (auto, privatized partial accumulators plus a
+/// combine task) must produce the same exact integer fingerprint; the
+/// auto program is additionally replayed through a CompiledPipeline for
+/// the per-batch throughput column. With `smoke` this is the CI gate:
+/// any fingerprint mismatch exits non-zero.
+int runReduction(bool smoke, const std::string& jsonPath) {
+  const pb::Value n = smoke ? 16 : 48;
+  const int size = smoke ? 0 : 2;
+  const std::size_t batches = smoke ? 20 : 100;
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  std::printf("== E21: partial-reduction execution, reduction kernel grid "
+              "(N=%lld, SIZE=%d, batches=%zu, threads=%u) ==\n",
+              static_cast<long long>(n), size, batches, hw);
+
+  bench::Table table({"kernel", "seq_ms", "off_ms", "auto_ms",
+                      "replay_ms_per_batch", "partials", "status"});
+  bench::JsonReport json;
+  json.meta("mode", bench::JsonReport::str("reduction"));
+  json.meta("n", bench::JsonReport::num(static_cast<std::uint64_t>(n)));
+  json.meta("batches", bench::JsonReport::num(batches));
+  json.meta("threads", bench::JsonReport::num(std::uint64_t{hw}));
+  int failures = 0;
+
+  for (const kernels::ReductionKernelSpec& spec : kernels::reductionKernels()) {
+    const scop::Scop scop = spec.build(n);
+    auto layer = tasking::makeThreadPoolBackend(hw);
+
+    kernels::ReductionRunner oracle(scop, size);
+    Stopwatch seqWatch;
+    tasking::executeSequential(scop, oracle.executor());
+    const double seqSec = seqWatch.seconds();
+    const std::uint64_t seqFp = oracle.fingerprint();
+
+    // Legacy route: the reduction statement keeps its self-dependence
+    // chain (off still needs the §7 non-injective-write knob).
+    pipeline::DetectOptions offOpt;
+    offOpt.reductionMode = pipeline::DetectOptions::ReductionMode::Off;
+    offOpt.allowNonInjectiveWrites = true;
+    codegen::TaskProgram offProg = codegen::compilePipeline(scop, offOpt);
+    opt::optimize(offProg);
+    offProg.validate(scop);
+    kernels::ReductionRunner offRunner(scop, offProg, size);
+    Stopwatch offWatch;
+    tasking::executeTaskProgram(offProg, *layer, offRunner.executor());
+    const double offSec = offWatch.seconds();
+    const bool offOk = offRunner.fingerprint() == seqFp;
+
+    // Partial-reduction route: parallel partial blocks + combine task.
+    codegen::TaskProgram autoProg = codegen::compilePipeline(scop);
+    opt::optimize(autoProg);
+    autoProg.validate(scop);
+    std::size_t partials = 0;
+    for (const codegen::Task& t : autoProg.tasks)
+      if (t.kind == codegen::TaskKind::ReductionCombine)
+        partials = t.iterations.size();
+    kernels::ReductionRunner autoRunner(scop, autoProg, size);
+    Stopwatch autoWatch;
+    tasking::executeTaskProgram(autoProg, *layer, autoRunner.executor());
+    const double autoSec = autoWatch.seconds();
+    const bool autoOk = autoRunner.fingerprint() == seqFp;
+
+    // Compile-once replay throughput, with one fingerprint spot check.
+    auto shared =
+        std::make_shared<const codegen::TaskProgram>(std::move(autoProg));
+    tasking::CompiledPipeline pipe(
+        shared, tasking::CompiledPipeline::Options{hw, true});
+    kernels::ReductionRunner replayRunner(scop, *shared, size);
+    pipe.replay(replayRunner.executor());
+    const bool replayOk = replayRunner.fingerprint() == seqFp;
+    const tasking::StatementExecutor counting = [](std::size_t,
+                                                   const pb::Tuple&) {};
+    Stopwatch replayWatch;
+    for (std::size_t b = 0; b < batches; ++b)
+      pipe.replay(counting);
+    const double replaySec = replayWatch.seconds();
+
+    const bool ok = offOk && autoOk && replayOk && partials > 1;
+    failures += ok ? 0 : 1;
+    table.addRow(
+        {spec.name, bench::fmt(seqSec * 1e3, 3), bench::fmt(offSec * 1e3, 3),
+         bench::fmt(autoSec * 1e3, 3),
+         bench::fmt(replaySec * 1e3 / static_cast<double>(batches), 3),
+         std::to_string(partials),
+         ok ? "ok"
+            : (!autoOk  ? "FAIL (auto)"
+               : !offOk ? "FAIL (off)"
+                        : (!replayOk ? "FAIL (replay)" : "FAIL (blocks)"))});
+    json.beginProgram(spec.name);
+    json.field("seq_ms", bench::JsonReport::num(seqSec * 1e3));
+    json.field("off_ms", bench::JsonReport::num(offSec * 1e3));
+    json.field("auto_ms", bench::JsonReport::num(autoSec * 1e3));
+    json.field("replay_ms_per_batch",
+               bench::JsonReport::num(replaySec * 1e3 /
+                                      static_cast<double>(batches)));
+    json.field("partials",
+               bench::JsonReport::num(static_cast<std::uint64_t>(partials)));
+    json.field("ok", ok ? "true" : "false");
+  }
+  table.print();
+  std::printf("%s\n", failures == 0
+                          ? "reduction PASS: off == auto == sequential, "
+                            "exact fingerprints on every kernel"
+                          : "reduction FAIL");
+  if (!jsonPath.empty() && !json.write("bench_real_execution", jsonPath))
+    return 1;
+  return failures == 0 ? 0 : 1;
+}
+
 /// Channel-route comparison (and CI gate with `smoke`): task-depend
 /// replay vs. channel-engine replay with the real compute kernel.
 int runChannel(bool smoke, const std::string& jsonPath) {
@@ -387,6 +506,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool replay = false;
   bool channel = false;
+  bool reduction = false;
   std::string tracePath, jsonPath;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
@@ -395,6 +515,8 @@ int main(int argc, char** argv) {
       replay = true;
     else if (std::strcmp(argv[i], "--channel") == 0)
       channel = true;
+    else if (std::strcmp(argv[i], "--reduction") == 0)
+      reduction = true;
     else if (std::strncmp(argv[i], "--trace=", 8) == 0)
       tracePath = argv[i] + 8;
     else if (std::strncmp(argv[i], "--json=", 7) == 0)
@@ -405,6 +527,12 @@ int main(int argc, char** argv) {
   if (!tracePath.empty()) {
     trace::setThreadName("main");
     session.start();
+  }
+
+  if (reduction) {
+    const int rc = runReduction(smoke, jsonPath);
+    const int traceRc = dumpTrace(session, tracePath);
+    return rc != 0 ? rc : traceRc;
   }
 
   if (channel) {

@@ -41,6 +41,10 @@
 //                   closed-form parametric route with per-pair fallback,
 //                   force errors out on any pair the parametric route
 //                   cannot handle; route counters print on stderr
+//     --reduction=off|auto  off disables the reduction-aware route (the
+//                   bit-identical legacy behaviour); auto (the default)
+//                   relaxes classified `A[f] += g(...)` accumulations into
+//                   parallel partial blocks plus a combine task
 //     --backend=serial|threadpool|openmp|channel  execution backend for
 //                   --verify and --replay. `channel` runs the communication
 //                   analysis and routes execution through the bounded-SPSC
@@ -103,7 +107,7 @@ int usage() {
                "usage: pipolyc [--maps] [--tree] [--ast] [--tasks] [--dot] "
                "[--optimize] [--emit-c] [--simulate N] [--timeline N] "
                "[--replay=N] [--trace=FILE] [--metrics] [--detect-cache] "
-               "[--parametric=off|auto|force] "
+               "[--parametric=off|auto|force] [--reduction=off|auto] "
                "[--backend=serial|threadpool|openmp|channel] [file]\n");
   return 2;
 }
@@ -162,6 +166,18 @@ int main(int argc, char** argv) {
       else if (mode == "force")
         detectOptions.parametricMode =
             pipeline::DetectOptions::ParametricMode::Force;
+      else
+        return usage();
+      routeStats = true;
+    }
+    else if (arg.rfind("--reduction=", 0) == 0) {
+      const std::string mode = arg.substr(12);
+      if (mode == "off")
+        detectOptions.reductionMode =
+            pipeline::DetectOptions::ReductionMode::Off;
+      else if (mode == "auto")
+        detectOptions.reductionMode =
+            pipeline::DetectOptions::ReductionMode::Auto;
       else
         return usage();
       routeStats = true;
@@ -233,6 +249,15 @@ int main(int argc, char** argv) {
 
     trace::beginSpan("compile");
     scop::Scop scop = frontend::parseProgram(source, params);
+    // `A[f] += g(...)` writes are non-injective by design; with the
+    // reduction route off they must still compile (serially, through the
+    // explicit-dependence fallback) rather than trip the injectivity
+    // check. Scoped to declared accumulations so every legacy input keeps
+    // its exact behaviour.
+    if (detectOptions.reductionMode == pipeline::DetectOptions::ReductionMode::Off)
+      for (std::size_t s = 0; s < scop.numStatements(); ++s)
+        if (scop.statement(s).reductionOp() != scop::ReductionOp::None)
+          detectOptions.allowNonInjectiveWrites = true;
     pipeline::PipelineInfo info;
     if (detectCache) {
       static pipeline::DetectCache cache;
@@ -253,10 +278,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "pipolyc: detect routes — %zu candidate pair(s): "
                    "%zu parametric, %zu symbolic, %zu explicit, "
-                   "%zu independent, %zu fallback(s)\n",
+                   "%zu independent, %zu reduction, %zu fallback(s); "
+                   "%zu relaxed reduction statement(s)\n",
                    info.stats.candidatePairs, info.stats.parametricPairs,
                    info.stats.symbolicPairs, info.stats.explicitPairs,
-                   info.stats.independentPairs, info.stats.fallbackPairs());
+                   info.stats.independentPairs, info.stats.reductionPairs,
+                   info.stats.fallbackPairs(),
+                   info.stats.reductionStatements);
     std::unique_ptr<sched::ScheduleNode> schedTree;
     {
       trace::Span span("compile.schedule");
@@ -269,6 +297,22 @@ int main(int argc, char** argv) {
     }
     codegen::TaskProgram prog = codegen::lowerToTasks(scop, lowered);
     prog.validate(scop);
+
+    // The interpreted oracle executes statements from their declared
+    // accesses alone and cannot run reduction combine tasks (those need
+    // the partial accumulators of a reduction-aware runner, see
+    // kernels/reduction_runner.hpp).
+    bool hasCombine = false;
+    for (const codegen::Task& t : prog.tasks)
+      if (t.kind == codegen::TaskKind::ReductionCombine)
+        hasCombine = true;
+    if (hasCombine && (verifyRun || replayRuns != 0 || tracing)) {
+      std::fprintf(stderr,
+                   "pipolyc: --verify/--replay/--trace interpret statement "
+                   "bodies and cannot execute reduction combine tasks; "
+                   "rerun with --reduction=off\n");
+      return 2;
+    }
 
     // The channel backend sizes its rings from the communication
     // analysis; the exports and the report then carry the per-edge

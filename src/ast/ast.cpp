@@ -28,7 +28,7 @@ Ast buildAst(const scop::Scop& scop, const sched::ScheduleNode& root) {
     nest.pipelineLoopDepth = nest.blockReps.space().arity() - 1;
     nest.annotation =
         TaskAnnotation{info.stmtIdx, info.inRequirements, info.outDependency,
-                       info.chainOrdering, info.selfEdges};
+                       info.chainOrdering, info.selfEdges, info.reduction};
     ast.nests.push_back(std::move(nest));
   }
   return ast;
@@ -113,7 +113,12 @@ std::string printAst(const Ast& ast, const scop::Scop& scop) {
        << depth - 1 << "]";
     os << "; out-dep: (" << nest.stmtIdx << ", block)";
     for (const pipeline::InRequirement& req : nest.annotation.inRequirements)
-      os << "; in-dep: stmt " << req.srcStmtIdx << " via Q";
+      os << "; in-dep: stmt " << req.srcStmtIdx
+         << (req.viaCombine ? " via combine" : " via Q");
+    if (nest.annotation.reduction.relaxed)
+      os << "; reduction("
+         << scop::reductionOpName(nest.annotation.reduction.op)
+         << ") -> partial blocks + combine";
     os << '\n';
     os << bodyPad << nest.stmtName << "_block(c0..c" << depth - 1 << ");\n";
 

@@ -29,6 +29,9 @@ struct TaskAnnotation {
   /// Same-nest ordering mode; see pipeline::StatementPipelineInfo.
   bool chainOrdering = true;
   pb::IntMap selfEdges;
+  /// Reduction relaxation of this statement; when `reduction.relaxed`
+  /// the lowering appends a combine task after the partial blocks.
+  pipeline::ReductionInfo reduction;
 };
 
 /// One loop nest of the generated AST.

@@ -28,6 +28,13 @@ std::string toDot(const TaskProgram& program, const scop::Scop& scop,
     for (const Task& t : program.tasks) {
       if (t.stmtIdx != s)
         continue;
+      if (t.kind == TaskKind::ReductionCombine) {
+        // The relaxed-reduction combine step: double octagon, fold count.
+        os << "    t" << t.id << " [shape=doubleoctagon, label=\""
+           << scop.statement(s).name() << " combine\\n"
+           << t.iterations.size() << " partials\"];\n";
+        continue;
+      }
       os << "    t" << t.id << " [label=\"" << scop.statement(s).name()
          << t.blockRep.toString() << "\\n" << t.iterations.size()
          << " its\"];\n";

@@ -70,7 +70,10 @@ std::string toJson(const TaskProgram& program, const scop::Scop& scop,
        << ", \"block\": [";
     for (std::size_t d = 0; d < t.blockRep.size(); ++d)
       os << (d ? ", " : "") << t.blockRep[d];
-    os << "], \"iterations\": " << t.iterations.size() << ", \"deps\": [";
+    os << "], \"iterations\": " << t.iterations.size();
+    if (t.kind == TaskKind::ReductionCombine)
+      os << ", \"combine\": true";
+    os << ", \"deps\": [";
     for (std::size_t k = 0; k < t.in.size(); ++k) {
       auto it = owner.find({t.in[k].idx, t.in[k].tag});
       PIPOLY_CHECK(it != owner.end());

@@ -25,6 +25,10 @@ std::int64_t linearizeBlockVector(const pb::Tuple& blockRep) {
   return tag;
 }
 
+TaskDep combineDep(std::size_t numStatements, std::size_t stmtIdx) {
+  return TaskDep{static_cast<int>(numStatements + stmtIdx), 0};
+}
+
 std::optional<std::size_t> TaskProgram::taskWithOut(const TaskDep& dep) const {
   for (const Task& t : tasks)
     if (t.out.idx == dep.idx && t.out.tag == dep.tag)
@@ -80,12 +84,16 @@ void TaskProgram::validate(const scop::Scop& scop) const {
     }
   }
 
-  // Per statement: iterations across tasks partition the domain, blocks in
-  // lexicographic order, and self-ordering chain intact. One pass over the
-  // task list with per-statement running state (the former per-statement
-  // rescan was O(statements * tasks)).
+  // Per statement: iterations across Block tasks partition the domain,
+  // blocks in lexicographic order, and self-ordering chain intact. One
+  // pass over the task list with per-statement running state (the former
+  // per-statement rescan was O(statements * tasks)). Combine tasks are
+  // checked separately: fold steps enumerate the statement's partial
+  // blocks in order, and the in-dependencies cover every partial.
   std::vector<const Task*> prev(scop.numStatements(), nullptr);
   std::vector<std::vector<pb::Tuple>> all(scop.numStatements());
+  std::vector<const Task*> combine(scop.numStatements(), nullptr);
+  std::vector<std::vector<TaskDep>> blockOuts(scop.numStatements());
   for (const Task& t : tasks) {
     PIPOLY_CHECK_MSG(t.stmtIdx < scop.numStatements(),
                      "task statement index out of range");
@@ -94,6 +102,27 @@ void TaskProgram::validate(const scop::Scop& scop) const {
                      "task iterations must be in lexicographic order");
     PIPOLY_CHECK_MSG(t.iterations.back() == t.blockRep,
                      "block representative must be the last iteration");
+    if (t.kind == TaskKind::ReductionCombine) {
+      PIPOLY_CHECK_MSG(combine[t.stmtIdx] == nullptr,
+                       "at most one combine task per statement");
+      combine[t.stmtIdx] = &t;
+      const std::size_t arity = scop.statement(t.stmtIdx).depth() + 1;
+      for (std::size_t k = 0; k < t.iterations.size(); ++k) {
+        PIPOLY_CHECK_MSG(t.iterations[k].size() == arity,
+                         "combine fold tuple arity must be depth + 1");
+        PIPOLY_CHECK_MSG(t.iterations[k][0] ==
+                             static_cast<pb::Value>(k),
+                         "combine fold steps must enumerate partials in "
+                         "order");
+        for (std::size_t d = 1; d < arity; ++d)
+          PIPOLY_CHECK_MSG(t.iterations[k][d] == 0,
+                           "combine fold tuple padding must be zero");
+      }
+      continue;
+    }
+    PIPOLY_CHECK_MSG(combine[t.stmtIdx] == nullptr,
+                     "partial blocks must precede their combine task");
+    blockOuts[t.stmtIdx].push_back(t.out);
     if (const Task* p = prev[t.stmtIdx]) {
       PIPOLY_CHECK_MSG(p->blockRep < t.blockRep,
                        "blocks of one statement must be ordered");
@@ -116,6 +145,19 @@ void TaskProgram::validate(const scop::Scop& scop) const {
     PIPOLY_CHECK_MSG(pb::IntTupleSet(scop.statement(s).space(), all[s]) ==
                          scop.statement(s).domain(),
                      "task iterations must partition the statement domain");
+    if (const Task* c = combine[s]) {
+      PIPOLY_CHECK_MSG(c->iterations.size() == blockOuts[s].size(),
+                       "combine must fold exactly one partial per block "
+                       "task");
+      for (const TaskDep& out : blockOuts[s]) {
+        const bool covered =
+            std::any_of(c->in.begin(), c->in.end(), [&](const TaskDep& d) {
+              return d.idx == out.idx && d.tag == out.tag;
+            });
+        PIPOLY_CHECK_MSG(covered,
+                         "combine task must depend on every partial block");
+      }
+    }
   }
 }
 
@@ -130,9 +172,15 @@ statementReadership(const TaskProgram& program) {
   std::vector<std::vector<bool>> reach(numStmts,
                                        std::vector<bool>(numStmts, false));
   for (const Task& t : program.tasks)
-    for (const TaskDep& dep : t.in)
-      if (dep.idx >= 0 && static_cast<std::size_t>(dep.idx) < numStmts)
-        reach[static_cast<std::size_t>(dep.idx)][t.stmtIdx] = true;
+    for (const TaskDep& dep : t.in) {
+      // Combine tags live at idx == numStatements + stmtIdx; fold them
+      // back onto their statement for the reachability projection.
+      std::size_t src = static_cast<std::size_t>(dep.idx);
+      if (dep.idx >= 0 && src >= numStmts && src < 2 * numStmts)
+        src -= numStmts;
+      if (dep.idx >= 0 && src < numStmts)
+        reach[src][t.stmtIdx] = true;
+    }
   for (std::size_t k = 0; k < numStmts; ++k)
     for (std::size_t s = 0; s < numStmts; ++s)
       if (reach[s][k])
@@ -186,9 +234,14 @@ TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast) {
 
       // Cross-statement in-dependencies from the Q_S maps (single-valued
       // under chain ordering; exact data-flow edges, possibly several,
-      // under relaxed ordering).
+      // under relaxed ordering). A viaCombine requirement depends on the
+      // source's combine task instead of any block.
       for (const pipeline::InRequirement& req :
            nest.annotation.inRequirements) {
+        if (req.viaCombine) {
+          task.in.push_back(combineDep(prog.numStatements, req.srcStmtIdx));
+          continue;
+        }
         for (const pb::Tuple& image : req.map.imagesOf(rep))
           task.in.push_back(TaskDep{static_cast<int>(req.srcStmtIdx),
                                     linearizeBlockVector(image)});
@@ -226,6 +279,29 @@ TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast) {
       prevOut = task.out;
       prog.tasks.push_back(std::move(task));
     }
+
+    // Relaxed reduction nest: append the combine task. It folds the
+    // partial accumulators into the array, one fold step per partial
+    // block in deterministic (block) order, after every partial
+    // finished. Readers of this statement depend on its combine tag (see
+    // the viaCombine branch above).
+    if (nest.annotation.reduction.relaxed && !nest.blockReps.empty()) {
+      Task task;
+      task.id = prog.tasks.size();
+      task.stmtIdx = nest.stmtIdx;
+      task.kind = TaskKind::ReductionCombine;
+      const std::size_t arity = nest.blockReps.space().arity() + 1;
+      std::size_t k = 0;
+      for (const pb::Tuple& rep : nest.blockReps.points()) {
+        std::vector<pb::Value> fold(arity, 0);
+        fold[0] = static_cast<pb::Value>(k++);
+        task.iterations.emplace_back(fold.data(), arity);
+        task.in.push_back(TaskDep{stmtSlot, linearizeBlockVector(rep)});
+      }
+      task.blockRep = task.iterations.back();
+      task.out = combineDep(prog.numStatements, nest.stmtIdx);
+      prog.tasks.push_back(std::move(task));
+    }
   }
   return prog;
 }
@@ -254,7 +330,8 @@ std::string TaskProgram::toString() const {
   os << "task program: " << tasks.size() << " tasks, " << numStatements
      << " statements, writeNum=" << writeNum << '\n';
   for (const Task& t : tasks) {
-    os << "  task " << t.id << ": stmt " << t.stmtIdx << " block "
+    os << "  task " << t.id << ": stmt " << t.stmtIdx
+       << (t.kind == TaskKind::ReductionCombine ? " combine " : " block ")
        << t.blockRep << " (" << t.iterations.size() << " its) out=("
        << t.out.idx << ',' << t.out.tag << ')';
     for (const TaskDep& d : t.in)

@@ -39,13 +39,26 @@ struct TaskDep {
   friend bool operator==(const TaskDep&, const TaskDep&) = default;
 };
 
+/// What a task executes. Block tasks run statement iterations; a
+/// ReductionCombine task folds the partial accumulators of a relaxed
+/// reduction statement back into its array (one fold call per partial,
+/// in deterministic block order).
+enum class TaskKind : unsigned char { Block, ReductionCombine };
+
 struct Task {
   std::size_t id; // creation order, 0-based
   std::size_t stmtIdx;
   pb::Tuple blockRep;
-  std::vector<pb::Tuple> iterations; // lexicographic order
+  /// For Block tasks: member iterations of the block (arity = statement
+  /// depth, lexicographic order). For ReductionCombine tasks: one fold
+  /// step per partial block, encoded as arity depth+1 tuples
+  /// (k, 0, ..., 0) for partial index k — executors pass them through
+  /// the same StatementExecutor callback, and reduction-aware runners
+  /// tell the two apart by tuple arity (see kernels/reduction_runner.hpp).
+  std::vector<pb::Tuple> iterations;
   TaskDep out;
   std::vector<TaskDep> in;
+  TaskKind kind = TaskKind::Block;
 };
 
 /// Hashed (idx, tag) -> producing task id index. Built once and shared by
@@ -121,6 +134,11 @@ statementReadership(const TaskProgram& program);
 /// in [0, kLinearStride).
 inline constexpr std::int64_t kLinearStride = std::int64_t(1) << 20;
 std::int64_t linearizeBlockVector(const pb::Tuple& blockRep);
+
+/// The depend-clause slot of a statement's combine task. Offset by
+/// numStatements so combine tags can never collide with the statement's
+/// block tags (which use idx == stmtIdx).
+TaskDep combineDep(std::size_t numStatements, std::size_t stmtIdx);
 
 /// Lowers the AST to the task program.
 TaskProgram lowerToTasks(const scop::Scop& scop, const ast::Ast& ast);

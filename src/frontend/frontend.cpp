@@ -32,6 +32,7 @@ struct Token {
     Semicolon,
     Colon,
     Assign,
+    PlusAssign,
     Lt,
     Le,
     Plus,
@@ -117,6 +118,11 @@ private:
     case '+':
       if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '+') {
         current_ = {Token::Kind::Increment, "++", 0, line_};
+        pos_ += 2;
+        return;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        current_ = {Token::Kind::PlusAssign, "+=", 0, line_};
         pos_ += 2;
         return;
       }
@@ -359,9 +365,15 @@ private:
                  lowerToAffine(loops_[k].upperExclusive, depth));
 
     auto [writeArray, writeSubs] = parseAccess(depth);
-    stmt.write(writeArray, std::move(writeSubs));
-
-    lexer_.expect(Token::Kind::Assign, "'='");
+    if (lexer_.accept(Token::Kind::PlusAssign)) {
+      // A[subs] += f(...): an Add accumulation — the write plus an
+      // implicit read of the same element, with the declared operator the
+      // reduction-aware detection route may relax.
+      stmt.reduce(writeArray, std::move(writeSubs), scop::ReductionOp::Add);
+    } else {
+      lexer_.expect(Token::Kind::Assign, "'=' or '+='");
+      stmt.write(writeArray, std::move(writeSubs));
+    }
     Token fn = lexer_.expect(Token::Kind::Ident, "function name");
     functionNames_.push_back(fn.text);
     lexer_.expect(Token::Kind::LParen, "'('");

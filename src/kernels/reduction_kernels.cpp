@@ -1,0 +1,121 @@
+#include "kernels/reduction_kernels.hpp"
+
+#include "scop/builder.hpp"
+#include "support/assert.hpp"
+
+namespace pipoly::kernels {
+
+scop::Scop dotProductChain(pb::Value n) {
+  PIPOLY_CHECK(n >= 2);
+  scop::ScopBuilder b("dot_product_chain");
+  const std::size_t X = b.array("X", {n, n});
+  const std::size_t dot = b.array("dot", {1});
+  const std::size_t out = b.array("out", {n});
+
+  {
+    auto S = b.statement("gen", 2);
+    S.bound(0, 0, n).bound(1, 1, n);
+    S.write(X, {S.dim(0), S.dim(1)});
+    S.read(X, {S.dim(0), S.dim(1) - 1}); // serial in j
+  }
+  {
+    auto S = b.statement("dotacc", 2);
+    S.bound(0, 0, n).bound(1, 1, n);
+    S.reduce(dot, {S.constant(0)}, scop::ReductionOp::Add);
+    S.read(X, {S.dim(0), S.dim(1)});
+  }
+  {
+    auto S = b.statement("post", 1);
+    S.bound(0, 1, n);
+    S.write(out, {S.dim(0)});
+    S.read(dot, {S.constant(0)});
+    S.read(out, {S.dim(0) - 1}); // serial consumer
+  }
+  return b.build();
+}
+
+scop::Scop histogramKernel(pb::Value n, pb::Value bins) {
+  PIPOLY_CHECK(bins >= 1 && n >= bins);
+  PIPOLY_CHECK_MSG(n % bins == 0, "histogram needs bins to divide n");
+  const pb::Value chunk = n / bins;
+  scop::ScopBuilder b("histogram");
+  const std::size_t data = b.array("data", {n});
+  const std::size_t hist = b.array("hist", {bins});
+  const std::size_t out = b.array("out", {bins});
+
+  {
+    auto S = b.statement("load", 1);
+    S.bound(0, 1, n);
+    S.write(data, {S.dim(0)});
+    S.read(data, {S.dim(0) - 1}); // serial producer
+  }
+  {
+    auto S = b.statement("binacc", 2);
+    S.bound(0, 0, bins).bound(1, 0, chunk);
+    S.reduce(hist, {S.dim(0)}, scop::ReductionOp::Xor);
+    S.read(data, {S.dim(0) * chunk + S.dim(1)});
+  }
+  {
+    auto S = b.statement("norm", 1);
+    S.bound(0, 0, bins);
+    S.write(out, {S.dim(0)});
+    S.read(hist, {S.dim(0)});
+  }
+  return b.build();
+}
+
+scop::Scop stencilAccumulate(pb::Value n) {
+  PIPOLY_CHECK(n >= 4);
+  scop::ScopBuilder b("stencil_accumulate");
+  const std::size_t G = b.array("G", {n, n});
+  const std::size_t acc = b.array("acc", {n});
+  const std::size_t out = b.array("out", {n});
+
+  {
+    auto S = b.statement("relax", 2);
+    S.bound(0, 1, n - 1).bound(1, 1, n - 1);
+    S.write(G, {S.dim(0), S.dim(1)});
+    S.read(G, {S.dim(0), S.dim(1) - 1});
+    S.read(G, {S.dim(0) - 1, S.dim(1)});
+  }
+  {
+    auto S = b.statement("rowmin", 2);
+    S.bound(0, 1, n - 1).bound(1, 1, n - 1);
+    S.reduce(acc, {S.dim(0)}, scop::ReductionOp::Min);
+    S.read(G, {S.dim(0) - 1, S.dim(1)});
+    S.read(G, {S.dim(0), S.dim(1)});
+    S.read(G, {S.dim(0) + 1, S.dim(1)});
+  }
+  {
+    auto S = b.statement("scale", 1);
+    S.bound(0, 1, n - 1);
+    S.write(out, {S.dim(0)});
+    S.read(acc, {S.dim(0)});
+    S.read(out, {S.dim(0) - 1}); // serial consumer
+  }
+  return b.build();
+}
+
+namespace {
+
+scop::Scop buildHistogram8(pb::Value n) { return histogramKernel(n, 8); }
+
+} // namespace
+
+const std::vector<ReductionKernelSpec>& reductionKernels() {
+  static const std::vector<ReductionKernelSpec> kKernels = {
+      {"dot_product_chain", &dotProductChain, 1, scop::ReductionOp::Add},
+      {"histogram", &buildHistogram8, 1, scop::ReductionOp::Xor},
+      {"stencil_accumulate", &stencilAccumulate, 1, scop::ReductionOp::Min},
+  };
+  return kKernels;
+}
+
+const ReductionKernelSpec& reductionKernelByName(const std::string& name) {
+  for (const ReductionKernelSpec& spec : reductionKernels())
+    if (spec.name == name)
+      return spec;
+  PIPOLY_CHECK_MSG(false, "unknown reduction kernel: " + name);
+}
+
+} // namespace pipoly::kernels

@@ -1,0 +1,52 @@
+#pragma once
+
+// Reduction-heavy pipeline chains: each kernel is a producer nest, an
+// accumulation nest (a statement of the form A[f(i)] = A[f(i)] ⊕ expr
+// with a declared associative-commutative operator), and a consumer nest
+// reading the accumulated result. Under DetectOptions::reductionMode ==
+// Auto the middle nest's reduction self-dependences are relaxed
+// (pipeline/reduction.hpp) and it splits into parallel partial blocks
+// plus a combine task; with reductionMode == Off the legacy serial
+// chain-ordered route handles it bit-identically to earlier releases.
+
+#include "scop/scop.hpp"
+
+#include <string>
+#include <vector>
+
+namespace pipoly::kernels {
+
+/// for i, j: X[i][j] = f(X[i][j-1])       (serial producer)
+/// for i, j: dot[0] += g(X[i][j])         (scalar Add reduction)
+/// for i:    out[i] = h(dot[0], out[i-1]) (consumer of the combined value)
+scop::Scop dotProductChain(pb::Value n);
+
+/// for i:    data[i] = f(data[i-1])                     (serial producer)
+/// for b, t: hist[b] ^= g(data[b*chunk + t])            (binned Xor)
+/// for b:    out[b] = h(hist[b])                        (per-bin consumer)
+/// with chunk = n / bins; requires bins to divide n.
+scop::Scop histogramKernel(pb::Value n, pb::Value bins);
+
+/// for i, j: G[i][j] = f(G[i][j-1], G[i-1][j])          (serial stencil)
+/// for i, j: acc[i] = min(acc[i], g(G[i-1..i+1][j]))    (row Min reduction)
+/// for i:    out[i] = h(acc[i], out[i-1])               (serial consumer)
+scop::Scop stencilAccumulate(pb::Value n);
+
+/// One row of the reduction kernel grid (the Table-9-style extension for
+/// the reduction route): name, builder, and the statement index / operator
+/// of the accumulation nest for reporting.
+struct ReductionKernelSpec {
+  std::string name;
+  scop::Scop (*build)(pb::Value n);
+  std::size_t reductionStmt; // index of the accumulation statement
+  scop::ReductionOp op;
+};
+
+/// The three grid kernels (dot_product_chain, histogram, and
+/// stencil_accumulate; histogram fixes bins = 8).
+const std::vector<ReductionKernelSpec>& reductionKernels();
+
+/// Looks a grid kernel up by name.
+const ReductionKernelSpec& reductionKernelByName(const std::string& name);
+
+} // namespace pipoly::kernels

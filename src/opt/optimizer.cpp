@@ -12,6 +12,7 @@ namespace {
 
 using codegen::Task;
 using codegen::TaskDep;
+using codegen::TaskKind;
 using codegen::TaskProgram;
 
 std::size_t countEdges(const TaskProgram& program) {
@@ -138,7 +139,11 @@ std::size_t fuseChains(TaskProgram& program, std::size_t width) {
     std::size_t run = 1;
     while (run < width && tail + 1 < n) {
       const Task& next = program.tasks[tail + 1];
-      if (next.stmtIdx != merged.stmtIdx || dependents[tail] != 1 ||
+      // Never fuse across task kinds: a combine task must stay a
+      // separate fold step (its iterations use a different arity and the
+      // reduction runners dispatch on it).
+      if (next.stmtIdx != merged.stmtIdx || next.kind != merged.kind ||
+          merged.kind != TaskKind::Block || dependents[tail] != 1 ||
           next.in.size() != 1 || next.in[0].idx != merged.out.idx ||
           next.in[0].tag != merged.out.tag ||
           !(merged.iterations.back() < next.iterations.front()))

@@ -6,6 +6,7 @@
 #include "support/assert.hpp"
 #include "trace/trace.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -44,6 +45,7 @@ enum class PairRoute : unsigned char {
   Symbolic,    // per-point symbolic fast path
   Explicit,    // explicit Wr^-1(Rd) composition
   Independent, // no dependence, discovered on the legacy route
+  Reduction,   // source is a relaxed reduction: combine edge, no map
 };
 
 /// Result of Algorithm 1, lines 1-7, for one dependent (source, target)
@@ -54,14 +56,41 @@ struct PairResult {
   pb::IntMap srcBlocking; // V_S over the source domain
   pb::IntMap tgtBlocking; // Y_T over the target domain
   bool hasMap = false;
+  /// Dependent pair whose source is a relaxed reduction statement: the
+  /// target must wait for the source's combine step (which materializes
+  /// the reduced values), not for any individual partial block.
+  bool combineEdge = false;
   PairRoute route = PairRoute::Independent;
   ParametricFallback fallback = ParametricFallback::None;
 };
 
 PairResult computePair(const scop::Scop& scop, std::size_t s, std::size_t t,
-                       const DetectOptions& options) {
+                       const DetectOptions& options,
+                       const std::vector<ReductionInfo>& reductions) {
   using ParametricMode = DetectOptions::ParametricMode;
   PairResult r;
+  // A relaxed reduction source publishes its array only through its
+  // combine step, so the pair contributes no pipeline map (and no
+  // blocking): the dependence — if any — is a single combine edge. This
+  // check must precede the parametric/legacy ladder, whose map
+  // construction would serialize on (or throw over) the non-injective
+  // accumulation write.
+  if (!reductions.empty() && reductions[s].relaxed) {
+    if (scop::dependsOn(scop, t, s)) {
+      r.route = PairRoute::Reduction;
+      r.combineEdge = true;
+      // Keep the legacy source-side blocking: the relaxed statement's
+      // partition must *refine* the Off-mode one (its block count only
+      // ever grows — the adds-parallelism contract the differential
+      // suite checks). The accumulation write is non-injective by
+      // definition, so the explicit map is built with the relaxation
+      // the Off route would need anyway.
+      const pb::IntMap tMap =
+          pipelineMap(scop, s, t, /*allowNonInjective=*/true);
+      r.srcBlocking = sourceBlockingMap(scop.statement(s).domain(), tMap);
+    }
+    return r; // else: route stays Independent
+  }
   pb::IntMap tMap;
   bool haveMap = false;
   if (options.parametricMode != ParametricMode::Off) {
@@ -128,6 +157,9 @@ void traceRoute(const PairResult& r, std::int64_t pairIdx) {
   case PairRoute::Independent:
     trace::instant("detect.route.independent", pairIdx);
     break;
+  case PairRoute::Reduction:
+    trace::instant("detect.route.reduction", pairIdx);
+    break;
   }
   switch (r.fallback) {
   case ParametricFallback::None:
@@ -155,6 +187,22 @@ void traceRoute(const PairResult& r, std::int64_t pairIdx) {
   }
 }
 
+/// Contiguous uniform split of a non-empty domain into
+/// min(k, |domain|) blocks — the blocking a pure accumulation nest gets
+/// once its reduction self-dependences are relaxed and no incoming
+/// pipeline map subdivides it.
+pb::IntMap uniformBlocking(const pb::IntTupleSet& domain, std::size_t k) {
+  const std::size_t n = domain.size();
+  k = std::max<std::size_t>(1, std::min(k, n));
+  const auto& points = domain.points();
+  std::vector<pb::Tuple> boundaries;
+  boundaries.reserve(k);
+  for (std::size_t b = 1; b <= k; ++b)
+    boundaries.push_back(points[n * b / k - 1]);
+  return blockingMap(domain,
+                     pb::IntTupleSet(domain.space(), std::move(boundaries)));
+}
+
 /// Algorithm 1, lines 8-10, for one statement: integrate its blocking
 /// maps (eq. 3) and build the out-dependency identity. Statements not
 /// involved in any pipeline map become a single block (their whole domain
@@ -163,16 +211,17 @@ void traceRoute(const PairResult& r, std::int64_t pairIdx) {
 void computeStatementInfo(const scop::Scop& scop, std::size_t s,
                           const std::vector<pb::IntMap>& maps,
                           const DetectOptions& options,
+                          const ReductionInfo& reduction,
                           StatementPipelineInfo& st) {
   const pb::IntTupleSet& domain = scop.statement(s).domain();
-  if (options.relaxSameNestOrdering)
+  if (options.relaxSameNestOrdering || reduction.relaxed)
     st.chainOrdering = false;
   if (domain.empty()) {
     st.blocking = pb::IntMap(domain.space(), domain.space());
     st.expansion = st.blocking;
     st.blockReps = domain;
     st.outDependency = st.blocking;
-    if (options.relaxSameNestOrdering)
+    if (!st.chainOrdering)
       st.selfEdges = pb::IntMap(scop.statement(s).space(),
                                 scop.statement(s).space());
     return;
@@ -185,9 +234,27 @@ void computeStatementInfo(const scop::Scop& scop, std::size_t s,
     st.blocking = maps.front();
   }
   st.blocking = coarsenBlocking(domain, st.blocking, options.coarsening);
+  if (reduction.relaxed && st.blocking.range().size() <= 1 &&
+      domain.size() > 1) {
+    // A pure accumulation nest: nothing upstream subdivides it, and with
+    // the reduction self-dependences relaxed its iterations are freely
+    // re-partitionable — split into parallel partial blocks directly.
+    st.blocking = uniformBlocking(domain, options.reductionBlocks);
+  }
   st.expansion = st.blocking.inverse();
   st.blockReps = st.blocking.range();
   st.outDependency = pb::IntMap::identity(st.blockReps);
+
+  if (reduction.relaxed) {
+    // Every self-dependence of a classified reduction statement is
+    // carried by its single (reduction) write, and all of those are
+    // relaxed: the partial blocks are mutually independent. The combine
+    // step the lowering appends restores the serial semantics.
+    st.reduction = reduction;
+    st.selfEdges = pb::IntMap(scop.statement(s).space(),
+                              scop.statement(s).space());
+    return;
+  }
 
   if (options.relaxSameNestOrdering) {
     // §7 combination with per-nest parallelism: compute the exact
@@ -316,6 +383,25 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
     pool.emplace(options.numThreads);
   rt::DependencyThreadPool* poolPtr = pool ? &*pool : nullptr;
 
+  // Reduction pre-pass (reduction.hpp): classify every statement once.
+  // Off leaves the vector empty — computePair and computeStatementInfo
+  // then behave bit-identically to the legacy route.
+  std::vector<ReductionInfo> reductions;
+  if (options.reductionMode == DetectOptions::ReductionMode::Auto) {
+    trace::Span phase("detect.reductions");
+    reductions.resize(n);
+    forEachUnit(poolPtr, n, [&](std::size_t s) {
+      reductions[s] = classifyReduction(scop, s);
+    });
+    for (std::size_t s = 0; s < n; ++s)
+      if (reductions[s].relaxed) {
+        ++info.stats.reductionStatements;
+        trace::instant("detect.reduction.relax",
+                       static_cast<std::int64_t>(s));
+      }
+  }
+  static const ReductionInfo kNoReduction{};
+
   // Phase 1 (Algorithm 1, lines 1-7): pipeline maps and per-pair blocking
   // maps for every candidate pair, enumerated in the serial (t outer,
   // s inner) order.
@@ -331,7 +417,7 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
     forEachUnit(poolPtr, candidates.size(), [&](std::size_t i) {
       trace::Span unit("detect.pair", static_cast<std::int64_t>(i));
       pairResults[i] = computePair(scop, candidates[i].first,
-                                   candidates[i].second, options);
+                                   candidates[i].second, options, reductions);
     });
   }
 
@@ -340,6 +426,9 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
   // workers) so they are identical for every thread count.
   info.stats.candidatePairs = candidates.size();
   std::vector<std::vector<pb::IntMap>> blockingMaps(n);
+  // Per target, the relaxed-reduction sources it depends on (combine
+  // edges), in the deterministic candidate order.
+  std::vector<std::vector<std::size_t>> combineSources(n);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     PairResult& r = pairResults[i];
     switch (r.route) {
@@ -355,10 +444,18 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
     case PairRoute::Independent:
       ++info.stats.independentPairs;
       break;
+    case PairRoute::Reduction:
+      ++info.stats.reductionPairs;
+      break;
     }
     if (r.fallback != ParametricFallback::None)
       ++info.stats.fallbackByReason[static_cast<std::size_t>(r.fallback)];
     traceRoute(r, static_cast<std::int64_t>(i));
+    if (r.combineEdge) {
+      combineSources[candidates[i].second].push_back(candidates[i].first);
+      if (!r.srcBlocking.empty())
+        blockingMaps[candidates[i].first].push_back(std::move(r.srcBlocking));
+    }
     if (!r.hasMap)
       continue;
     const auto [s, t] = candidates[i];
@@ -374,6 +471,7 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
     forEachUnit(poolPtr, n, [&](std::size_t s) {
       trace::Span unit("detect.statement", static_cast<std::int64_t>(s));
       computeStatementInfo(scop, s, blockingMaps[s], options,
+                           reductions.empty() ? kNoReduction : reductions[s],
                            info.statements[s]);
     });
   }
@@ -392,6 +490,30 @@ PipelineInfo detectPipeline(const scop::Scop& scop,
   for (std::size_t i = 0; i < info.maps.size(); ++i)
     info.statements[info.maps[i].tgtIdx].inRequirements.push_back(
         std::move(requirements[i]));
+
+  // Combine-edge requirements: a target of a relaxed reduction source
+  // waits for the source's combine step. Appended after the map-based
+  // requirements in the deterministic (target, source) candidate order;
+  // the map relates every target block to the lexmax source block (the
+  // lowering rewrites it to the combine task's tag).
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t s : combineSources[t]) {
+      const StatementPipelineInfo& srcInfo = info.statements[s];
+      if (srcInfo.blockReps.empty())
+        continue; // empty source domain: nothing to wait for
+      const pb::Tuple lastSrcRep = srcInfo.blockReps.lexmax();
+      std::vector<pb::IntMap::Pair> pairs;
+      pairs.reserve(info.statements[t].blockReps.size());
+      for (const pb::Tuple& rep : info.statements[t].blockReps.points())
+        pairs.emplace_back(rep, lastSrcRep);
+      info.statements[t].inRequirements.push_back(
+          InRequirement{s,
+                        pb::IntMap(scop.statement(t).space(),
+                                   scop.statement(s).space(),
+                                   std::move(pairs)),
+                        /*viaCombine=*/true});
+    }
+  }
 
   return info;
 }

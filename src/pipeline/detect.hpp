@@ -14,6 +14,7 @@
 
 #include "pipeline/blocking.hpp"
 #include "pipeline/pipeline_map.hpp"
+#include "pipeline/reduction.hpp"
 #include "pipeline/symbolic.hpp"
 #include "scop/scop.hpp"
 
@@ -39,6 +40,13 @@ struct InRequirement {
   /// paper's chain ordering (eq. 4); multi-valued (exact data-flow
   /// edges) under relaxed same-nest ordering.
   pb::IntMap map;
+  /// True when the source is a relaxed reduction statement: the
+  /// dependence is on the source's *combine* step (which restores the
+  /// array value from the partial accumulators), not on any individual
+  /// block. `map` then relates every block rep of this statement to the
+  /// lexmax source block rep — the lowering rewrites it to the combine
+  /// task's tag.
+  bool viaCombine = false;
 };
 
 struct StatementPipelineInfo {
@@ -63,6 +71,13 @@ struct StatementPipelineInfo {
   /// { block rep -> earlier block rep it must wait for }; may be
   /// multi-valued. Only meaningful when chainOrdering is false.
   pb::IntMap selfEdges;
+  /// Reduction relaxation (reduction.hpp). When `relaxed`, the
+  /// statement's self-dependences on the reduction array were dropped
+  /// from the blocking construction: its blocks are independent partial
+  /// accumulations (chainOrdering is forced off with empty selfEdges),
+  /// and the lowering appends one combine task that folds the partial
+  /// accumulators back into the array in deterministic block order.
+  ReductionInfo reduction;
 };
 
 /// Per-run route accounting for the candidate pairs of Algorithm 1,
@@ -84,6 +99,11 @@ struct DetectStats {
   /// Pairs with no dependence, discovered on the legacy route (the
   /// parametric route counts its independent pairs as parametric).
   std::size_t independentPairs = 0;
+  /// Dependent pairs whose source is a relaxed reduction statement: no
+  /// pipeline map, the target depends on the source's combine step.
+  std::size_t reductionPairs = 0;
+  /// Statements the reduction classifier relaxed (reductionMode=auto).
+  std::size_t reductionStatements = 0;
   /// Parametric-route rejections by reason, indexed by ParametricFallback
   /// (only meaningful in Auto/Force modes; NoSharedArray rejections are
   /// vacuous pairs, not fallbacks, but are tallied here too).
@@ -162,6 +182,26 @@ struct DetectOptions {
     Force,
   };
   ParametricMode parametricMode = ParametricMode::Auto;
+
+  /// Reduction dependence relaxation (reduction.hpp).
+  enum class ReductionMode {
+    /// Bit-identical legacy: reduction statements keep their
+    /// self-dependences and serialize (a non-injective accumulation
+    /// write still needs allowNonInjectiveWrites, exactly as before).
+    Off,
+    /// The default: classify every statement; relaxed reductions drop
+    /// their reduction self-dependences from the blocking construction,
+    /// split into parallel partial blocks and gain a combine step.
+    /// Non-reduction statements behave exactly as under Off.
+    Auto,
+  };
+  ReductionMode reductionMode = ReductionMode::Auto;
+
+  /// Target number of partial-reduction blocks for a relaxed statement
+  /// that no incoming pipeline map subdivides (a pure accumulation nest):
+  /// its domain is split into min(reductionBlocks, |domain|) contiguous
+  /// chunks. Result-affecting, so part of the DetectCache fingerprint.
+  std::size_t reductionBlocks = 8;
 
   /// Workers for the detection pass itself. 0 (the default) runs
   /// everything inline on the caller's thread — the serial reference

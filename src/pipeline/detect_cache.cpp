@@ -55,7 +55,7 @@ private:
 std::string detectFingerprint(const scop::Scop& scop,
                               const DetectOptions& options) {
   KeyBuilder k;
-  k.str("pipoly-detect-v2");
+  k.str("pipoly-detect-v3");
   k.num(static_cast<std::int64_t>(options.integration));
   k.num(static_cast<std::int64_t>(options.coarsening));
   k.num(options.allowNonInjectiveWrites ? 1 : 0);
@@ -65,6 +65,11 @@ std::string detectFingerprint(const scop::Scop& scop,
   // record the route, and a cached entry must replay the stats of the
   // options it was computed under.
   k.num(static_cast<std::int64_t>(options.parametricMode));
+  // reductionMode changes the detected blocking and requirements for
+  // reduction statements; reductionBlocks sizes their uniform split.
+  // Both are result-affecting and must separate cache entries.
+  k.num(static_cast<std::int64_t>(options.reductionMode));
+  k.num(static_cast<std::int64_t>(options.reductionBlocks));
   // numThreads deliberately excluded: the result is bit-identical for
   // every thread count (detect.hpp's contract), so serial and parallel
   // runs share entries.
@@ -91,6 +96,10 @@ std::string detectFingerprint(const scop::Scop& scop,
     k.num(static_cast<std::int64_t>(s.reads().size()));
     for (const scop::Access& a : s.reads())
       k.access(a);
+    // The declared reduction operator gates the relaxation under
+    // reductionMode=auto, so two SCoPs differing only in it must not
+    // alias.
+    k.num(static_cast<std::int64_t>(s.reductionOp()));
   }
   return k.take();
 }

@@ -59,8 +59,24 @@ std::string renderReport(const scop::Scop& scop, const PipelineInfo& info,
        << describeParallelism(scop, s) << '\n';
   }
 
+  // Relaxed reductions (printed before the early return: a pure
+  // accumulation SCoP has no pipeline maps yet still splits).
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    const StatementPipelineInfo& st = info.statements[s];
+    if (!st.reduction.relaxed)
+      continue;
+    os << "  reduction " << scop.statement(s).name() << ": relaxed "
+       << relaxedSelfDependences(scop, s).size()
+       << " self-dependences on array "
+       << scop.array(st.reduction.arrayId).name << " (op "
+       << scop::reductionOpName(st.reduction.op) << "), "
+       << st.blockReps.size() << " partial block"
+       << (st.blockReps.size() == 1 ? "" : "s") << " + combine\n";
+  }
+
   if (info.maps.empty()) {
-    os << "  no cross-loop pipeline opportunities detected\n";
+    if (info.stats.reductionStatements == 0)
+      os << "  no cross-loop pipeline opportunities detected\n";
     return os.str();
   }
 

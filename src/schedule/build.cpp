@@ -26,7 +26,7 @@ buildStatementSchedule(const scop::Scop& scop,
   // sch2: mark(Q_S, Q_S^out) -> band(identity(D_Σ)). The mark sits before
   // the intra-block band so the AST phase can locate the pipeline loop.
   PipelineMark mark{stmtIdx, st.inRequirements, st.outDependency,
-                    st.chainOrdering, st.selfEdges};
+                    st.chainOrdering, st.selfEdges, st.reduction};
   cursor = &cursor->addChild(
       ScheduleNode::mark(std::string(kPipelineMarkId), std::move(mark)));
   cursor = &cursor->addChild(

@@ -33,6 +33,8 @@ struct PipelineMark {
   /// self-dependence edges; see StatementPipelineInfo.
   bool chainOrdering = true;
   pb::IntMap selfEdges;
+  /// Reduction relaxation of this statement; see StatementPipelineInfo.
+  pipeline::ReductionInfo reduction;
 };
 
 class ScheduleNode {

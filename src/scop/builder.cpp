@@ -92,6 +92,22 @@ StatementBuilder::writeRange(std::size_t arrayId,
   return *this;
 }
 
+StatementBuilder& StatementBuilder::reduce(std::size_t arrayId,
+                                           std::vector<pb::AffineExpr> subs,
+                                           ReductionOp op) {
+  PIPOLY_CHECK_MSG(op != ReductionOp::None,
+                   "reduce() needs a concrete operator");
+  std::vector<pb::AffineExpr> readSubs = subs;
+  write(arrayId, std::move(subs));
+  read(arrayId, std::move(readSubs));
+  return reductionOp(op);
+}
+
+StatementBuilder& StatementBuilder::reductionOp(ReductionOp op) {
+  parent_->pending_[index_].reductionOp = op;
+  return *this;
+}
+
 std::size_t ScopBuilder::array(std::string name, std::vector<pb::Value> shape) {
   arrays_.push_back(Array{std::move(name), std::move(shape)});
   return arrays_.size() - 1;
@@ -112,7 +128,7 @@ Scop ScopBuilder::build() const {
     // Zero-extent nests are legal: they have no iterations, no accesses
     // and no dependences, and pipeline detection gives them zero blocks.
     statements.emplace_back(p.name, p.depth, p.domain, std::move(domain),
-                            p.writes, p.reads);
+                            p.writes, p.reads, p.reductionOp);
   }
   return Scop(name_, arrays_, std::move(statements));
 }

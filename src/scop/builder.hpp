@@ -51,6 +51,17 @@ public:
   StatementBuilder& read(std::size_t arrayId,
                          std::vector<pb::AffineExpr> subscripts);
 
+  /// Declares this statement as the accumulation
+  /// `array[subs] = array[subs] ⊕ ...` — shorthand for a write and a read
+  /// with identical subscripts plus the declared operator (which the
+  /// reduction-aware detection route may relax; see pipeline/reduction.hpp).
+  StatementBuilder& reduce(std::size_t arrayId,
+                           std::vector<pb::AffineExpr> subscripts,
+                           ReductionOp op);
+  /// Sets the operator alone (e.g. for statements assembled from explicit
+  /// write()/read() calls).
+  StatementBuilder& reductionOp(ReductionOp op);
+
   /// A read that touches a whole slab: `subscripts` is affine over
   /// depth + auxExtents.size() input dims; the trailing inputs are
   /// auxiliary dims ranging over [0, auxExtents[k]). Example — reading all
@@ -99,6 +110,7 @@ private:
     pb::Polyhedron domain;
     std::vector<Access> writes;
     std::vector<Access> reads;
+    ReductionOp reductionOp = ReductionOp::None;
   };
 
   std::string name_;

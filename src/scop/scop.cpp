@@ -7,6 +7,61 @@
 
 namespace pipoly::scop {
 
+std::string_view reductionOpName(ReductionOp op) {
+  switch (op) {
+  case ReductionOp::None:
+    return "none";
+  case ReductionOp::Add:
+    return "add";
+  case ReductionOp::Mul:
+    return "mul";
+  case ReductionOp::Xor:
+    return "xor";
+  case ReductionOp::Min:
+    return "min";
+  case ReductionOp::Max:
+    return "max";
+  }
+  return "?";
+}
+
+std::uint64_t applyReductionOp(ReductionOp op, std::uint64_t a,
+                               std::uint64_t b) {
+  switch (op) {
+  case ReductionOp::None:
+    break;
+  case ReductionOp::Add:
+    return a + b;
+  case ReductionOp::Mul:
+    return a * b;
+  case ReductionOp::Xor:
+    return a ^ b;
+  case ReductionOp::Min:
+    return a < b ? a : b;
+  case ReductionOp::Max:
+    return a > b ? a : b;
+  }
+  PIPOLY_CHECK_MSG(false, "applyReductionOp on ReductionOp::None");
+  return 0;
+}
+
+std::uint64_t reductionIdentity(ReductionOp op) {
+  switch (op) {
+  case ReductionOp::None:
+    break;
+  case ReductionOp::Add:
+  case ReductionOp::Xor:
+  case ReductionOp::Max:
+    return 0;
+  case ReductionOp::Min:
+    return ~std::uint64_t{0};
+  case ReductionOp::Mul:
+    return 1;
+  }
+  PIPOLY_CHECK_MSG(false, "reductionIdentity on ReductionOp::None");
+  return 0;
+}
+
 pb::IntMap Scop::accessRelation(std::size_t stmtIdx,
                                 const Access& access) const {
   const Statement& stmt = statement(stmtIdx);
@@ -101,7 +156,10 @@ std::string Scop::toString() const {
   }
   for (const Statement& s : statements_) {
     os << "  statement " << s.name() << " depth=" << s.depth()
-       << " |domain|=" << s.domain().size() << '\n';
+       << " |domain|=" << s.domain().size();
+    if (s.reductionOp() != ReductionOp::None)
+      os << " reduce=" << reductionOpName(s.reductionOp());
+    os << '\n';
   }
   os << "}";
   return os.str();

@@ -11,7 +11,9 @@
 #include "presburger/polyhedron.hpp"
 #include "presburger/set.hpp"
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pipoly::scop {
@@ -39,16 +41,35 @@ struct Access {
   std::size_t numAuxDims() const { return auxExtents.size(); }
 };
 
+/// The declared combination operator of a reduction statement
+/// `A[f(i)] = A[f(i)] ⊕ expr`. The SCoP representation is otherwise
+/// semantics-opaque, so the operator is an explicit statement property
+/// (Polly reads it off the LLVM-IR instruction chain; the builder DSL
+/// declares it). All five operators are exactly associative and
+/// commutative over uint64 (Add/Mul wrap mod 2^64), which keeps the
+/// integer oracle fingerprints bit-exact under any partial-combine order.
+enum class ReductionOp : unsigned char { None, Add, Mul, Xor, Min, Max };
+
+std::string_view reductionOpName(ReductionOp op);
+
+/// ⊕ and its identity element (op(x, identity) == x), so folding an
+/// untouched partial slot is a no-op.
+std::uint64_t applyReductionOp(ReductionOp op, std::uint64_t a,
+                               std::uint64_t b);
+std::uint64_t reductionIdentity(ReductionOp op);
+
 /// A statement: the body of one loop nest, executed once per point of its
 /// iteration domain.
 class Statement {
 public:
   Statement(std::string name, std::size_t depth, pb::Polyhedron domainPoly,
             pb::IntTupleSet domain, std::vector<Access> writes,
-            std::vector<Access> reads)
+            std::vector<Access> reads,
+            ReductionOp reductionOp = ReductionOp::None)
       : name_(std::move(name)), depth_(depth),
         domainPoly_(std::move(domainPoly)), domain_(std::move(domain)),
-        writes_(std::move(writes)), reads_(std::move(reads)) {}
+        writes_(std::move(writes)), reads_(std::move(reads)),
+        reductionOp_(reductionOp) {}
 
   const std::string& name() const { return name_; }
   std::size_t depth() const { return depth_; }
@@ -56,6 +77,7 @@ public:
   const pb::IntTupleSet& domain() const { return domain_; }
   const std::vector<Access>& writes() const { return writes_; }
   const std::vector<Access>& reads() const { return reads_; }
+  ReductionOp reductionOp() const { return reductionOp_; }
   pb::Space space() const { return domain_.space(); }
 
 private:
@@ -65,6 +87,7 @@ private:
   pb::IntTupleSet domain_;
   std::vector<Access> writes_;
   std::vector<Access> reads_;
+  ReductionOp reductionOp_ = ReductionOp::None;
 };
 
 class Scop {

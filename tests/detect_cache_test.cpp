@@ -6,6 +6,7 @@
 #include "kernels/suite.hpp"
 #include "pipeline/detect.hpp"
 #include "pipeline/detect_cache.hpp"
+#include "scop/builder.hpp"
 
 #include <gtest/gtest.h>
 
@@ -121,6 +122,82 @@ TEST(DetectCacheTest, OptionsSeparateKeysExceptNumThreads) {
   EXPECT_EQ(s.misses, 4u);
   EXPECT_EQ(s.hits, 1u);
   EXPECT_EQ(s.entries, 4u);
+}
+
+TEST(DetectCacheTest, FingerprintKeyAuditCoversEveryResultAffectingOption) {
+  // The audit contract of the fingerprint: every option that can change
+  // the computed PipelineInfo forks the key; the only result-invariant
+  // option (numThreads — bit-identical by the detect_parallel contract)
+  // shares it. A new DetectOptions field must be added to the fingerprint
+  // (detect_cache.cpp), to this list, and to the size guard below.
+  const scop::Scop scop = program("P3");
+  const pipeline::DetectOptions base;
+  const std::string ref = pipeline::detectFingerprint(scop, base);
+
+  const auto differs = [&](auto mutate, const char* what) {
+    pipeline::DetectOptions opt = base;
+    mutate(opt);
+    EXPECT_NE(ref, pipeline::detectFingerprint(scop, opt)) << what;
+  };
+  differs([](pipeline::DetectOptions& o) {
+    o.integration = pipeline::DetectOptions::Integration::FirstMapOnly;
+  }, "integration");
+  differs([](pipeline::DetectOptions& o) { o.coarsening = 2; }, "coarsening");
+  differs([](pipeline::DetectOptions& o) { o.allowNonInjectiveWrites = true; },
+          "allowNonInjectiveWrites");
+  differs([](pipeline::DetectOptions& o) { o.relaxSameNestOrdering = true; },
+          "relaxSameNestOrdering");
+  differs([](pipeline::DetectOptions& o) {
+    o.parametricMode = pipeline::DetectOptions::ParametricMode::Off;
+  }, "parametricMode");
+  differs([](pipeline::DetectOptions& o) {
+    o.reductionMode = pipeline::DetectOptions::ReductionMode::Off;
+  }, "reductionMode");
+  differs([](pipeline::DetectOptions& o) { o.reductionBlocks = 4; },
+          "reductionBlocks");
+
+  pipeline::DetectOptions threads = base;
+  threads.numThreads = 8;
+  EXPECT_EQ(ref, pipeline::detectFingerprint(scop, threads));
+
+  // Size guard: growing DetectOptions without updating the fingerprint
+  // (and the audit above) must not pass silently.
+  struct Mirror {
+    pipeline::DetectOptions::Integration integration;
+    std::size_t coarsening;
+    bool allowNonInjectiveWrites;
+    bool relaxSameNestOrdering;
+    pipeline::DetectOptions::ParametricMode parametricMode;
+    pipeline::DetectOptions::ReductionMode reductionMode;
+    std::size_t reductionBlocks;
+    unsigned numThreads;
+  };
+  static_assert(sizeof(pipeline::DetectOptions) == sizeof(Mirror),
+                "DetectOptions grew: extend detectFingerprint and this audit");
+}
+
+TEST(DetectCacheTest, DeclaredReductionOperatorIsPartOfTheKey) {
+  // Two scops with bit-identical accesses but different declared
+  // operators produce different detection results under reductionMode =
+  // Auto, so the per-statement operator must fork the key.
+  const auto build = [](scop::ReductionOp op) {
+    scop::ScopBuilder b("opkey");
+    const std::size_t acc = b.array("acc", {1});
+    auto S = b.statement("S", 1);
+    S.bound(0, 0, 8);
+    S.write(acc, {S.constant(0)});
+    S.read(acc, {S.constant(0)});
+    if (op != scop::ReductionOp::None)
+      S.reductionOp(op);
+    return b.build();
+  };
+  const pipeline::DetectOptions base;
+  const std::string none = pipeline::detectFingerprint(build(scop::ReductionOp::None), base);
+  const std::string add = pipeline::detectFingerprint(build(scop::ReductionOp::Add), base);
+  const std::string xr = pipeline::detectFingerprint(build(scop::ReductionOp::Xor), base);
+  EXPECT_NE(none, add);
+  EXPECT_NE(none, xr);
+  EXPECT_NE(add, xr);
 }
 
 TEST(DetectCacheTest, LruEvictsTheLeastRecentlyUsedEntry) {

@@ -1,0 +1,396 @@
+// Fuzz layer for the reduction classifier (pipeline/reduction.hpp): a
+// brute-force oracle re-derives the classification of randomly mutated
+// statements from first principles — the reject-reason precedence from
+// the documented contract, injectivity of the write by enumerating the
+// domain and looking for a repeated cell, and the relaxed-dependence set
+// as the explicit list of lex-increasing iteration pairs hitting the
+// same cell. The classifier must agree exactly, every relaxed dependence
+// must be a genuine self-dependence (the MARS-style legality fact the
+// blocking relaxation rests on), and the five combination operators must
+// be associative and commutative with a true identity over uint64 — the
+// algebra the exact-fingerprint execution tests rely on.
+
+#include "pipeline/reduction.hpp"
+#include "scop/builder.hpp"
+#include "scop/dependences.hpp"
+#include "scop/scop.hpp"
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace pipoly;
+using pipeline::ReductionInfo;
+using pipeline::ReductionReject;
+using scop::ReductionOp;
+
+constexpr std::array<ReductionOp, 5> kOps = {ReductionOp::Add,
+                                             ReductionOp::Mul,
+                                             ReductionOp::Xor,
+                                             ReductionOp::Min,
+                                             ReductionOp::Max};
+
+// --- Operator algebra -------------------------------------------------
+
+TEST(ReductionFuzz, OperatorsAreAssociativeCommutativeWithIdentity) {
+  SplitMix64 rng(0x7b4e19c2d5a8f036ULL);
+  const std::array<std::uint64_t, 6> corners = {
+      0u, 1u, ~0ull, 1ull << 63, 0x8000000000000001ull, 0xffffffffull};
+  for (const ReductionOp op : kOps) {
+    const std::string name(scop::reductionOpName(op));
+    for (int iter = 0; iter < 512; ++iter) {
+      const auto draw = [&](int k) {
+        // Mix corners in aggressively: wrap-around and sign-boundary
+        // values are where a non-exact operator would betray itself.
+        return rng.nextBelow(3) == 0
+                   ? corners[static_cast<std::size_t>(iter + k) %
+                             corners.size()]
+                   : rng.next();
+      };
+      const std::uint64_t a = draw(0), b = draw(1), c = draw(2);
+      EXPECT_EQ(
+          scop::applyReductionOp(op, scop::applyReductionOp(op, a, b), c),
+          scop::applyReductionOp(op, a, scop::applyReductionOp(op, b, c)))
+          << name << " not associative at " << a << "," << b << "," << c;
+      EXPECT_EQ(scop::applyReductionOp(op, a, b),
+                scop::applyReductionOp(op, b, a))
+          << name << " not commutative at " << a << "," << b;
+      EXPECT_EQ(scop::applyReductionOp(op, a, scop::reductionIdentity(op)), a)
+          << name << " identity is not neutral at " << a;
+      EXPECT_EQ(scop::applyReductionOp(op, scop::reductionIdentity(op), a), a)
+          << name << " identity is not neutral at " << a;
+    }
+  }
+}
+
+// --- The randomized statement generator -------------------------------
+
+/// What the generator decided to emit, so failures print a recipe.
+struct FuzzRecipe {
+  std::size_t depth = 1;
+  bool emptyDomain = false;
+  bool secondWrite = false;
+  bool auxWrite = false;
+  // 0 exact matching read, 1 perturbed subscripts, 2 no read of the
+  // written array, 3 two reads of it, 4 aux-dim read only.
+  int readVariant = 0;
+  std::size_t extraReads = 0;
+  ReductionOp op = ReductionOp::None;
+
+  std::string describe() const {
+    return "depth=" + std::to_string(depth) +
+           (emptyDomain ? " empty" : "") +
+           (secondWrite ? " second-write" : "") + (auxWrite ? " aux-write" : "") +
+           " read-variant=" + std::to_string(readVariant) +
+           " extra-reads=" + std::to_string(extraReads) + " op=" +
+           std::string(scop::reductionOpName(op));
+  }
+};
+
+/// A random affine subscript over `depth` dims with non-negative values
+/// on the generated domains (bounds live in [0, 6), coefficients in
+/// {0,1,2}), so every access stays inside the generously sized arrays.
+pb::AffineExpr randomSubscript(scop::StatementBuilder& S, std::size_t depth,
+                               SplitMix64& rng) {
+  pb::AffineExpr e = S.constant(static_cast<pb::Value>(rng.nextBelow(4)));
+  if (depth == 0)
+    return e;
+  switch (rng.nextBelow(4)) {
+  case 0: // constant only: maximally non-injective
+    break;
+  case 1:
+    e = e + S.dim(rng.nextBelow(depth));
+    break;
+  case 2:
+    e = e + 2 * S.dim(rng.nextBelow(depth));
+    break;
+  default:
+    e = e + S.dim(rng.nextBelow(depth)) + S.dim(rng.nextBelow(depth));
+    break;
+  }
+  return e;
+}
+
+scop::Scop buildFuzzScop(const FuzzRecipe& r, SplitMix64& rng) {
+  scop::ScopBuilder b("fuzz");
+  const std::size_t rank = 1 + rng.nextBelow(2);
+  const std::size_t A = b.array("A", std::vector<pb::Value>(rank, 32));
+  const std::size_t B = b.array("B", {32});
+
+  auto S = b.statement("S", r.depth);
+  for (std::size_t d = 0; d < r.depth; ++d) {
+    const pb::Value lo = static_cast<pb::Value>(rng.nextBelow(3));
+    const pb::Value extent =
+        r.emptyDomain && d == 0 ? 0 : 1 + static_cast<pb::Value>(rng.nextBelow(4));
+    S.bound(d, lo, lo + extent);
+  }
+
+  std::vector<pb::AffineExpr> writeSubs;
+  for (std::size_t o = 0; o < rank; ++o)
+    writeSubs.push_back(randomSubscript(S, r.depth, rng));
+
+  if (r.auxWrite) {
+    // Subscripts of a ranged access are affine over depth + numAux dims.
+    std::vector<pb::AffineExpr> subs;
+    for (std::size_t o = 0; o < rank; ++o)
+      subs.push_back(o == 0 && r.depth > 0
+                         ? S.rangeDim(0, 1) + S.rangeAux(0, 1)
+                         : S.rangeAux(0, 1));
+    S.writeRange(A, std::move(subs), {2});
+  } else {
+    S.write(A, writeSubs);
+  }
+  if (r.secondWrite)
+    S.write(B, {r.depth == 0 ? S.constant(0) : S.dim(0)});
+
+  switch (r.readVariant) {
+  case 0:
+    S.read(A, writeSubs);
+    break;
+  case 1: {
+    std::vector<pb::AffineExpr> subs = writeSubs;
+    subs[rng.nextBelow(subs.size())] =
+        subs[rng.nextBelow(subs.size())] + 1; // structurally different
+    S.read(A, std::move(subs));
+    break;
+  }
+  case 2:
+    break;
+  case 3:
+    S.read(A, writeSubs);
+    S.read(A, writeSubs);
+    break;
+  default: {
+    std::vector<pb::AffineExpr> subs;
+    for (std::size_t o = 0; o < rank; ++o)
+      subs.push_back(S.rangeAux(0, 1));
+    S.readRange(A, std::move(subs), {2});
+    break;
+  }
+  }
+  for (std::size_t e = 0; e < r.extraReads; ++e)
+    S.read(B, {r.depth == 0 ? S.constant(1) : S.dim(rng.nextBelow(r.depth))});
+  if (r.op != ReductionOp::None)
+    S.reductionOp(r.op);
+  return b.build();
+}
+
+// --- The brute-force oracle -------------------------------------------
+
+/// Re-derives the classification from the documented contract. The
+/// injectivity question — the only semantic (not structural) part — is
+/// answered by enumerating the domain and evaluating the write
+/// subscripts, with none of the relation machinery the classifier uses.
+ReductionReject oracleClassify(const scop::Scop& scop) {
+  const scop::Statement& stmt = scop.statement(0);
+  if (stmt.writes().size() != 1)
+    return ReductionReject::NotSingleWrite;
+  const scop::Access& write = stmt.writes().front();
+  if (write.numAuxDims() != 0)
+    return ReductionReject::AuxDims;
+  std::size_t readsOfArray = 0;
+  const scop::Access* read = nullptr;
+  for (const scop::Access& r : stmt.reads())
+    if (r.arrayId == write.arrayId) {
+      ++readsOfArray;
+      read = &r;
+    }
+  if (readsOfArray > 1)
+    return ReductionReject::ExtraArrayRead;
+  if (read == nullptr || read->numAuxDims() != 0 ||
+      !(read->subscripts == write.subscripts))
+    return ReductionReject::NoMatchingRead;
+  if (stmt.reductionOp() == ReductionOp::None)
+    return ReductionReject::NoDeclaredOp;
+  std::map<pb::Tuple, std::size_t> cellWriters;
+  for (const pb::Tuple& it : stmt.domain().points())
+    if (++cellWriters[write.subscripts.evaluate(it)] > 1)
+      return ReductionReject::None; // repeated cell: genuinely relaxable
+  return ReductionReject::NoSelfDependence;
+}
+
+/// All lex-increasing iteration pairs of statement 0 that hit the same
+/// cell of its written array — what the relaxation is allowed to drop.
+std::vector<std::pair<pb::Tuple, pb::Tuple>>
+oracleRelaxedPairs(const scop::Scop& scop) {
+  const scop::Statement& stmt = scop.statement(0);
+  const scop::Access& write = stmt.writes().front();
+  std::map<pb::Tuple, std::vector<pb::Tuple>> byCell;
+  for (const pb::Tuple& it : stmt.domain().points())
+    byCell[write.subscripts.evaluate(it)].push_back(it);
+  std::vector<std::pair<pb::Tuple, pb::Tuple>> pairs;
+  for (const auto& [cell, its] : byCell)
+    for (std::size_t i = 0; i < its.size(); ++i)
+      for (std::size_t j = i + 1; j < its.size(); ++j)
+        pairs.emplace_back(std::min(its[i], its[j]),
+                           std::max(its[i], its[j]));
+  return pairs;
+}
+
+TEST(ReductionFuzz, ClassifierMatchesBruteForceOracle) {
+  SplitMix64 rng(0x3f8a62e1c97d40b5ULL);
+  std::array<std::size_t, static_cast<std::size_t>(ReductionReject::kCount)>
+      seen{};
+  std::size_t relaxedSeen = 0;
+  for (int iter = 0; iter < 600; ++iter) {
+    FuzzRecipe r;
+    r.depth = rng.nextBelow(5); // arities 0 through 4
+    r.emptyDomain = r.depth > 0 && rng.nextBelow(12) == 0;
+    r.secondWrite = rng.nextBelow(8) == 0;
+    r.auxWrite = rng.nextBelow(10) == 0;
+    r.readVariant = static_cast<int>(rng.nextBelow(8));
+    if (r.readVariant >= 5)
+      r.readVariant = 0; // weight toward the matching-read shape
+    r.extraReads = rng.nextBelow(3);
+    r.op = rng.nextBelow(5) == 0 ? ReductionOp::None
+                                 : kOps[rng.nextBelow(kOps.size())];
+
+    const scop::Scop scop = buildFuzzScop(r, rng);
+    const std::string what =
+        "iter " + std::to_string(iter) + ": " + r.describe();
+
+    const ReductionReject expected = oracleClassify(scop);
+    const ReductionInfo got = pipeline::classifyReduction(scop, 0);
+    ++seen[static_cast<std::size_t>(expected)];
+    EXPECT_EQ(toString(got.reject), toString(expected)) << what;
+    EXPECT_EQ(got.relaxed, expected == ReductionReject::None) << what;
+    if (!got.relaxed)
+      continue;
+    ++relaxedSeen;
+    EXPECT_EQ(got.arrayId, scop.statement(0).writes().front().arrayId) << what;
+    EXPECT_EQ(got.op, r.op) << what;
+
+    // The relaxed-dependence set, exactly: every pair the brute force
+    // derives and nothing else...
+    const pb::IntMap relaxed = pipeline::relaxedSelfDependences(scop, 0);
+    const auto expectedPairs = oracleRelaxedPairs(scop);
+    ASSERT_EQ(relaxed.pairs().size(), expectedPairs.size()) << what;
+    for (const auto& [i, j] : expectedPairs)
+      EXPECT_TRUE(relaxed.contains(i, j)) << what;
+
+    // ...and every one of them is a genuine self-dependence — for an
+    // accepted statement the two sets coincide (the single write *is*
+    // the reduction access), which is exactly why dropping them leaves
+    // no ordering the blocks still owe each other.
+    const pb::IntMap all = scop::selfDependences(scop, 0);
+    ASSERT_EQ(all.pairs().size(), relaxed.pairs().size()) << what;
+    for (const auto& [i, j] : relaxed.pairs())
+      EXPECT_TRUE(all.contains(i, j)) << what;
+  }
+  // The generator must exercise every reject reason and the accept path.
+  for (std::size_t k = 0; k < seen.size(); ++k)
+    EXPECT_GT(seen[k], 0u) << "reject reason never generated: "
+                           << toString(static_cast<ReductionReject>(k));
+  EXPECT_GT(relaxedSeen, 60u);
+}
+
+TEST(ReductionFuzz, ClassifyReductionsMatchesPerStatementCalls) {
+  scop::ScopBuilder b("multi");
+  const std::size_t A = b.array("A", {16});
+  const std::size_t C = b.array("C", {16});
+  const std::size_t D = b.array("D", {16});
+  {
+    auto S = b.statement("produce", 1);
+    S.bound(0, 0, 16);
+    S.write(C, {S.dim(0)});
+  }
+  {
+    auto S = b.statement("accumulate", 2);
+    S.bound(0, 0, 4).bound(1, 0, 4);
+    S.reduce(A, {S.dim(0)}, ReductionOp::Add);
+    S.read(C, {S.dim(1)});
+  }
+  {
+    auto S = b.statement("consume", 1);
+    S.bound(0, 0, 16);
+    S.write(D, {S.dim(0)});
+    S.read(A, {S.constant(0)});
+  }
+  const scop::Scop scop = b.build();
+  const std::vector<ReductionInfo> all = pipeline::classifyReductions(scop);
+  ASSERT_EQ(all.size(), scop.numStatements());
+  for (std::size_t s = 0; s < scop.numStatements(); ++s) {
+    const ReductionInfo one = pipeline::classifyReduction(scop, s);
+    EXPECT_EQ(all[s].relaxed, one.relaxed) << s;
+    EXPECT_EQ(all[s].reject, one.reject) << s;
+    EXPECT_EQ(all[s].op, one.op) << s;
+  }
+  EXPECT_TRUE(all[1].relaxed);
+  EXPECT_FALSE(all[0].relaxed);
+  EXPECT_FALSE(all[2].relaxed);
+}
+
+// --- Deterministic corners --------------------------------------------
+
+TEST(ReductionFuzz, ScalarAccumulatorOverASingleIterationIsNotRelaxed) {
+  // One iteration, one write: injective, nothing to relax.
+  scop::ScopBuilder b("single");
+  const std::size_t A = b.array("A", {4});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 1);
+  S.reduce(A, {S.constant(0)}, ReductionOp::Add);
+  const ReductionInfo info = pipeline::classifyReduction(b.build(), 0);
+  EXPECT_FALSE(info.relaxed);
+  EXPECT_EQ(info.reject, ReductionReject::NoSelfDependence);
+}
+
+TEST(ReductionFuzz, EmptyDomainIsNotRelaxed) {
+  scop::ScopBuilder b("empty");
+  const std::size_t A = b.array("A", {4});
+  auto S = b.statement("S", 1);
+  S.bound(0, 3, 3); // half-open: no iterations
+  S.reduce(A, {S.constant(0)}, ReductionOp::Mul);
+  const scop::Scop scop = b.build();
+  const ReductionInfo info = pipeline::classifyReduction(scop, 0);
+  EXPECT_FALSE(info.relaxed);
+  EXPECT_EQ(info.reject, ReductionReject::NoSelfDependence);
+  EXPECT_TRUE(pipeline::relaxedSelfDependences(scop, 0).empty());
+}
+
+TEST(ReductionFuzz, IdentityWriteWithDeclaredOpIsNotRelaxed) {
+  // The declared operator alone does not make a reduction: an injective
+  // write accumulates into each cell once.
+  scop::ScopBuilder b("identity");
+  const std::size_t A = b.array("A", {8});
+  auto S = b.statement("S", 1);
+  S.bound(0, 0, 8);
+  S.reduce(A, {S.dim(0)}, ReductionOp::Xor);
+  const ReductionInfo info = pipeline::classifyReduction(b.build(), 0);
+  EXPECT_FALSE(info.relaxed);
+  EXPECT_EQ(info.reject, ReductionReject::NoSelfDependence);
+}
+
+TEST(ReductionFuzz, DepthFourHistogramStyleNestIsRelaxed) {
+  scop::ScopBuilder b("deep");
+  const std::size_t A = b.array("A", {4});
+  auto S = b.statement("S", 4);
+  for (std::size_t d = 0; d < 4; ++d)
+    S.bound(d, 0, 3);
+  S.reduce(A, {S.dim(0)}, ReductionOp::Max);
+  const scop::Scop scop = b.build();
+  const ReductionInfo info = pipeline::classifyReduction(scop, 0);
+  EXPECT_TRUE(info.relaxed);
+  EXPECT_EQ(info.op, ReductionOp::Max);
+  // 3 cells x C(27,2) lex-increasing pairs each.
+  EXPECT_EQ(pipeline::relaxedSelfDependences(scop, 0).pairs().size(),
+            3u * (27u * 26u / 2u));
+}
+
+TEST(ReductionFuzz, RejectReasonNamesAreDistinct) {
+  for (std::size_t a = 0; a < static_cast<std::size_t>(ReductionReject::kCount);
+       ++a)
+    for (std::size_t c = a + 1;
+         c < static_cast<std::size_t>(ReductionReject::kCount); ++c)
+      EXPECT_NE(toString(static_cast<ReductionReject>(a)),
+                toString(static_cast<ReductionReject>(c)));
+}
+
+} // namespace
