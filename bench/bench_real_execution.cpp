@@ -73,6 +73,12 @@ namespace {
 
 using namespace pipoly;
 
+tasking::ReplayOptions pooledReplay(unsigned threads) {
+  tasking::ReplayOptions options;
+  options.numThreads = threads;
+  return options;
+}
+
 /// CI smoke gate: optimized execution must be observationally identical
 /// to the unoptimized and sequential runs on every Table-9 program.
 int runSmoke(const std::string& jsonPath) {
@@ -183,7 +189,7 @@ int runReplay(bool smoke, const std::string& jsonPath) {
       tasking::executeTaskProgram(prog, slots, *layer, runner.executor());
       fingerprintsOk = fingerprintsOk && runner.fingerprint() == seqFp;
       tasking::CompiledPipeline check(
-          std::move(prog), tasking::CompiledPipeline::Options{hw, true});
+          std::move(prog), pooledReplay(hw));
       for (int rep = 0; rep < 3; ++rep) {
         runner.reset();
         check.replay(runner.executor());
@@ -222,7 +228,7 @@ int runReplay(bool smoke, const std::string& jsonPath) {
         std::make_shared<const codegen::TaskProgram>(std::move(prog));
     const opt::SlotTable slots = opt::buildSlotTable(*shared);
     tasking::CompiledPipeline pipe(
-        shared, slots, tasking::CompiledPipeline::Options{hw, true});
+        shared, slots, pooledReplay(hw));
     for (std::size_t b = 0; b < batches; ++b)
       pipe.replay(counting);
     const double replay = replayWatch.seconds();
@@ -329,7 +335,7 @@ int runReduction(bool smoke, const std::string& jsonPath) {
     auto shared =
         std::make_shared<const codegen::TaskProgram>(std::move(autoProg));
     tasking::CompiledPipeline pipe(
-        shared, tasking::CompiledPipeline::Options{hw, true});
+        shared, pooledReplay(hw));
     kernels::ReductionRunner replayRunner(scop, *shared, size);
     pipe.replay(replayRunner.executor());
     const bool replayOk = replayRunner.fingerprint() == seqFp;

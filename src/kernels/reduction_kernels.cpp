@@ -96,6 +96,29 @@ scop::Scop stencilAccumulate(pb::Value n) {
   return b.build();
 }
 
+scop::Scop normAccumulate(pb::Value n) {
+  PIPOLY_CHECK(n >= 2);
+  scop::ScopBuilder b("norm_accumulate");
+  const std::size_t A = b.array("A", {n, n});
+  const std::size_t norm = b.array("norm", {1});
+  const std::size_t out = b.array("out", {n});
+
+  {
+    auto S = b.statement("normacc", 2);
+    S.bound(0, 0, n).bound(1, 0, n);
+    S.reduce(norm, {S.constant(0)}, scop::ReductionOp::Add);
+    S.read(A, {S.dim(0), S.dim(1)}); // A is input-only: no producer edge
+  }
+  {
+    auto S = b.statement("post", 1);
+    S.bound(0, 1, n);
+    S.write(out, {S.dim(0)});
+    S.read(norm, {S.constant(0)});
+    S.read(out, {S.dim(0) - 1}); // serial consumer
+  }
+  return b.build();
+}
+
 namespace {
 
 scop::Scop buildHistogram8(pb::Value n) { return histogramKernel(n, 8); }
@@ -107,6 +130,7 @@ const std::vector<ReductionKernelSpec>& reductionKernels() {
       {"dot_product_chain", &dotProductChain, 1, scop::ReductionOp::Add},
       {"histogram", &buildHistogram8, 1, scop::ReductionOp::Xor},
       {"stencil_accumulate", &stencilAccumulate, 1, scop::ReductionOp::Min},
+      {"norm_accumulate", &normAccumulate, 0, scop::ReductionOp::Add},
   };
   return kKernels;
 }

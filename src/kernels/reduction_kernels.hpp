@@ -32,6 +32,15 @@ scop::Scop histogramKernel(pb::Value n, pb::Value bins);
 /// for i:    out[i] = h(acc[i], out[i-1])               (serial consumer)
 scop::Scop stencilAccumulate(pb::Value n);
 
+/// for i, j: norm[0] += g(A[i][j])       (scalar Add over an input array)
+/// for i:    out[i] = h(norm[0], out[i-1]) (serial consumer)
+/// A has no producer statement, so no incoming pipeline map subdivides
+/// the accumulation nest: its partial-block split comes entirely from
+/// DetectOptions::reductionBlocks (the pure-accumulation route of
+/// Algorithm 1). The granularity ablation sweeps that knob on this
+/// kernel.
+scop::Scop normAccumulate(pb::Value n);
+
 /// One row of the reduction kernel grid (the Table-9-style extension for
 /// the reduction route): name, builder, and the statement index / operator
 /// of the accumulation nest for reporting.
@@ -42,8 +51,8 @@ struct ReductionKernelSpec {
   scop::ReductionOp op;
 };
 
-/// The three grid kernels (dot_product_chain, histogram, and
-/// stencil_accumulate; histogram fixes bins = 8).
+/// The four grid kernels (dot_product_chain, histogram,
+/// stencil_accumulate, and norm_accumulate; histogram fixes bins = 8).
 const std::vector<ReductionKernelSpec>& reductionKernels();
 
 /// Looks a grid kernel up by name.

@@ -8,9 +8,18 @@
 // The classic two-counter design (Lamport queue with cached indices):
 // monotone 64-bit head/tail, each written by exactly one side, each side
 // keeping a cached copy of the other side's counter so the common case of
-// tryPush/tryPop touches only one shared cache line. Capacity is exact
-// (not rounded to a power of two) and fixed at construction; the queue
-// never allocates after construction.
+// tryPush/tryPop touches only one shared cache line.
+//
+// Capacity contract: the requested capacity is a MINIMUM — construction
+// rounds it up to the next power of two so slot indexing is a mask, not
+// an integer division (the `% capacity` of the exact-capacity design was
+// a div on every push/pop, on the hottest channel path there is).
+// capacity() and storageBytes() report the rounded (actual) values;
+// callers that account ring memory (ChannelPipeline::retainedBytes) see
+// what is really allocated, not what was asked for. The rounding only
+// ever adds slack, so every sizing bound derived from the requested
+// capacity (comm-analysis no-stall slots, batch-skew acks) still holds.
+// Fixed at construction; the queue never allocates afterwards.
 //
 // tryPush/tryPop are wait-free. There is deliberately no blocking API:
 // waiting strategies (spin, yield, cooperative stage polling) belong to
@@ -30,14 +39,19 @@ namespace pipoly::rt {
 
 template <typename T> class SpscQueue {
 public:
-  explicit SpscQueue(std::size_t capacity) : capacity_(capacity) {
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(roundUpPow2(capacity)), mask_(capacity_ - 1) {
     PIPOLY_CHECK_MSG(capacity >= 1, "SpscQueue capacity must be >= 1");
-    slots_.resize(capacity);
+    PIPOLY_CHECK_MSG((capacity_ & mask_) == 0,
+                     "SpscQueue capacity rounding produced a non-power-of-2");
+    slots_.resize(capacity_);
   }
 
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
+  /// Actual slot count: the requested capacity rounded up to a power of
+  /// two (see the capacity contract above). Never smaller than requested.
   std::size_t capacity() const { return capacity_; }
 
   /// Producer side. Returns false when the ring is full or closed.
@@ -50,7 +64,7 @@ public:
     }
     if (closed_.load(std::memory_order_relaxed))
       return false;
-    slots_[static_cast<std::size_t>(tail % capacity_)] = std::move(value);
+    slots_[static_cast<std::size_t>(tail & mask_)] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
@@ -76,7 +90,7 @@ public:
       if (head == tailCache_)
         return std::nullopt;
     }
-    T value = std::move(slots_[static_cast<std::size_t>(head % capacity_)]);
+    T value = std::move(slots_[static_cast<std::size_t>(head & mask_)]);
     head_.store(head + 1, std::memory_order_release);
     return value;
   }
@@ -113,7 +127,15 @@ private:
   // this runs on has 64-byte (or smaller) destructive interference.
   static constexpr std::size_t kCacheLine = 64;
 
+  static constexpr std::size_t roundUpPow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v)
+      p <<= 1;
+    return p;
+  }
+
   std::size_t capacity_;
+  std::size_t mask_;
   std::vector<T> slots_;
   // Producer-owned line: tail plus the producer's cached head.
   alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};

@@ -1,14 +1,20 @@
 #include "tasking/channel_backend.hpp"
 
 #include "opt/optimizer.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/spsc_queue.hpp"
 #include "support/assert.hpp"
 #include "trace/trace.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <climits>
+#include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <functional>
@@ -18,67 +24,90 @@
 #include <unordered_map>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace pipoly::tasking {
+
+// Stage placement itself lives in rt/placement.{hpp,cpp}: the PR 8
+// comm-weighted DP (placeStagesBalanced, kept bit-identical) and the
+// topology-weighted partitioner (placeStagesTopology) are shared with
+// the simulator and the optimizer, so all three layers place against
+// the same objective.
+
+std::optional<unsigned> parseChannelBackoff(const char* text) {
+  if (text == nullptr)
+    return std::nullopt;
+  while (std::isspace(static_cast<unsigned char>(*text)))
+    ++text;
+  // strtoul silently accepts a leading minus (wrapping the value), so
+  // reject anything that does not start with a digit outright.
+  if (!std::isdigit(static_cast<unsigned char>(*text)))
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (errno == ERANGE || end == text)
+    return std::nullopt;
+  while (std::isspace(static_cast<unsigned char>(*end)))
+    ++end;
+  if (*end != '\0') // trailing garbage ("4k", "64 128", ...)
+    return std::nullopt;
+  if (v == 0 || v > UINT_MAX)
+    return std::nullopt;
+  return static_cast<unsigned>(v);
+}
 
 namespace {
 
-/// Communication-aware stage placement: partitions stages 0..S-1 into
-/// `workers` contiguous, non-empty ranges (stage order is statement
-/// order, i.e. pipeline order — data flows forward). Primary objective
-/// is load balance (max per-worker task count); among balanced splits it
-/// prefers cuts that sever the least channel traffic, so the heavy rings
-/// stay worker-local and cross-worker token ping-pong is minimized. The
-/// old round-robin (s % workers) put EVERY adjacent pair on different
-/// workers — the worst possible choice for a chain. O(S^2 * workers) DP,
-/// negligible next to ring allocation.
-std::vector<std::vector<std::size_t>>
-placeStages(std::size_t numStages, unsigned workers,
-            const std::vector<std::size_t>& stageTasks,
-            const std::vector<std::pair<std::pair<std::size_t, std::size_t>,
-                                        std::uint64_t>>& weightedEdges) {
-  // cutWeight[p]: traffic severed by a cut between stages p-1 and p.
-  std::vector<std::uint64_t> cutWeight(numStages + 1, 0);
-  for (const auto& [edge, weight] : weightedEdges) {
-    const auto [lo, hi] = std::minmax(edge.first, edge.second);
-    for (std::size_t p = lo + 1; p <= hi; ++p)
-      cutWeight[p] += weight;
-  }
-  std::vector<std::uint64_t> load(numStages + 1, 0);
-  for (std::size_t s = 0; s < numStages; ++s)
-    load[s + 1] = load[s] + stageTasks[s];
+/// PIPOLY_CHANNEL_BACKOFF: idle-poll count at which a stage worker's
+/// backoff ladder moves from yielding to 50us sleeps. Parsed once;
+/// malformed input is a hard error (same parse-and-reject contract as
+/// PIPOLY_POOL_WAKE_CAP), never a silent default.
+unsigned channelBackoffCap() {
+  static const unsigned cap = [] {
+    const char* text = std::getenv("PIPOLY_CHANNEL_BACKOFF");
+    if (text == nullptr)
+      return 16384u;
+    const std::optional<unsigned> parsed = parseChannelBackoff(text);
+    PIPOLY_CHECK_MSG(parsed.has_value(),
+                     "PIPOLY_CHANNEL_BACKOFF must be a positive integer "
+                     "(idle polls before the worker sleeps)");
+    return *parsed;
+  }();
+  return cap;
+}
 
-  struct Cell {
-    std::uint64_t maxLoad = UINT64_MAX;
-    std::uint64_t cross = UINT64_MAX;
-    std::size_t prev = 0;
-  };
-  // dp[w][i]: stages [0, i) over w workers; lexicographic (maxLoad, cross).
-  std::vector<std::vector<Cell>> dp(workers + 1,
-                                    std::vector<Cell>(numStages + 1));
-  dp[0][0] = {0, 0, 0};
-  for (unsigned w = 1; w <= workers; ++w)
-    for (std::size_t i = w; i + (workers - w) <= numStages; ++i)
-      for (std::size_t j = w - 1; j < i; ++j) {
-        const Cell& base = dp[w - 1][j];
-        if (base.maxLoad == UINT64_MAX)
-          continue;
-        Cell cand{std::max(base.maxLoad, load[i] - load[j]),
-                  base.cross + (j != 0 ? cutWeight[j] : 0), j};
-        Cell& best = dp[w][i];
-        if (std::tie(cand.maxLoad, cand.cross) <
-            std::tie(best.maxLoad, best.cross))
-          best = cand;
-      }
-
-  std::vector<std::vector<std::size_t>> owned(workers);
-  std::size_t end = numStages;
-  for (unsigned w = workers; w >= 1; --w) {
-    const std::size_t begin = dp[w][end].prev;
-    for (std::size_t s = begin; s < end; ++s)
-      owned[w - 1].push_back(s);
-    end = begin;
+/// Deterministic producer-side transfer emulation (see
+/// ChannelOptions::emulateRemoteNsPerByte): burn `ns` on the clock, not
+/// the scheduler, so an emulated remote push costs the same on every
+/// run and A/B placement ratios are stable.
+void spinNanos(std::uint32_t ns) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < until) {
   }
-  return owned;
+}
+
+/// Best-effort affinity pin of the calling thread to a domain's cpu
+/// list. A failed pin degrades to an unpinned worker, never an error —
+/// the list may describe another machine (a replayed spec file).
+void pinThreadToCpus(const std::vector<int>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty())
+    return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : cpus)
+    if (c >= 0 && c < CPU_SETSIZE)
+      CPU_SET(c, &set);
+  if (CPU_COUNT(&set) > 0)
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpus;
+#endif
 }
 
 } // namespace
@@ -119,12 +148,15 @@ public:
                          std::size_t batch)>;
 
   ChannelEngine(std::vector<std::size_t> stageTasks,
-                std::vector<EdgeSpec> specs, unsigned numWorkers) {
+                std::vector<EdgeSpec> specs, const ChannelOptions& options) {
     const std::size_t numStages = stageTasks.size();
     for (std::size_t s = 0; s < numStages; ++s) {
       stages_.emplace_back();
       stages_.back().numTasks = stageTasks[s];
     }
+    // Validate and monotonize the specs up front; the edge objects are
+    // only built after placement, which decides ring sizing (cross-domain
+    // rings grow by the pair's cost class) and transfer emulation.
     for (EdgeSpec& spec : specs) {
       PIPOLY_CHECK_MSG(spec.src < numStages && spec.tgt < numStages &&
                            spec.src != spec.tgt,
@@ -134,6 +166,51 @@ public:
       std::uint64_t runningMax = 0;
       for (std::uint64_t& r : spec.reqTokens)
         r = runningMax = std::max(runningMax, r);
+    }
+    unsigned workers = options.numWorkers != 0
+                           ? options.numWorkers
+                           : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, std::max<std::size_t>(numStages, 1)));
+    numWorkers_ = workers;
+
+    if (options.topology.has_value()) {
+      hasTopology_ = true;
+      topology_ = options.topology->numWorkers() == workers
+                      ? *options.topology
+                      : options.topology->resized(workers);
+      topology_.validate();
+    }
+
+    std::vector<rt::StageEdge> weightedEdges;
+    weightedEdges.reserve(specs.size());
+    for (const EdgeSpec& spec : specs)
+      weightedEdges.push_back(
+          {spec.src, spec.tgt,
+           std::max<std::uint64_t>(spec.weightBytes, 1)});
+    if (numStages != 0) {
+      if (hasTopology_ && options.topologyAwarePlacement) {
+        rt::PlacementOptions popts;
+        popts.lambda = options.placementLambda;
+        placement_ = rt::placeStagesTopology(stageTasks, workers,
+                                             weightedEdges, topology_, popts);
+      } else {
+        placement_ =
+            rt::placeStagesBalanced(stageTasks, workers, weightedEdges);
+        // The A/B baseline (old DP on a real topology) still charges
+        // domains per the topology: emulation and ring sizing see the
+        // same machine model, only the placement differs.
+        if (hasTopology_)
+          for (std::size_t s = 0; s < numStages; ++s)
+            placement_.domainOfStage[s] =
+                topology_.domainOfWorker[placement_.workerOfStage[s]];
+      }
+    } else {
+      placement_.ownedStages.assign(workers, {});
+    }
+    ownedStages_ = placement_.ownedStages;
+
+    for (EdgeSpec& spec : specs) {
       // Token-ring sizing: comm-derived capacitySlots is a lower bound
       // (it models data slots: the ASAP no-stall guarantee), but the
       // ring itself carries 4-byte block indices, not data — the data
@@ -144,33 +221,42 @@ public:
       // switch each. Two batches of tokens can be outstanding (producer
       // one batch ahead, consumer not yet drained), hence the factor.
       const std::uint32_t idx = static_cast<std::uint32_t>(edges_.size());
-      const std::uint32_t tokenCapacity = std::max<std::uint32_t>(
+      std::uint64_t tokenCapacity = std::max<std::uint64_t>(
           spec.capacitySlots,
-          static_cast<std::uint32_t>(
-              std::min<std::size_t>(2 * stageTasks[spec.src] + 2,
-                                    UINT32_MAX)));
-      edges_.emplace_back(spec.src, spec.tgt, tokenCapacity, spec.ackOnly,
-                          std::move(spec.reqTokens));
+          std::min<std::size_t>(2 * stageTasks[spec.src] + 2, UINT32_MAX));
+      const bool crossWorker =
+          placement_.workerOfStage[spec.src] !=
+          placement_.workerOfStage[spec.tgt];
+      const unsigned da = placement_.domainOfStage[spec.src];
+      const unsigned db = placement_.domainOfStage[spec.tgt];
+      const double cls = hasTopology_ ? topology_.costClass(da, db) : 1.0;
+      // A cross-domain ring is the slow link: size it up by the cost
+      // class so the producer can run further ahead and the (emulated or
+      // real) extra latency amortizes over a deeper ring.
+      if (da != db && cls > 1.0)
+        tokenCapacity = std::min<std::uint64_t>(
+            tokenCapacity *
+                static_cast<std::uint64_t>(std::ceil(cls)),
+            UINT32_MAX);
+      std::uint32_t emulateNs = 0;
+      if (crossWorker && !spec.ackOnly &&
+          options.emulateRemoteNsPerByte > 0.0) {
+        const double bytesPerToken =
+            static_cast<double>(std::max<std::uint64_t>(spec.weightBytes,
+                                                        1)) /
+            static_cast<double>(std::max<std::size_t>(
+                stageTasks[spec.src], 1));
+        emulateNs = static_cast<std::uint32_t>(std::min(
+            options.emulateRemoteNsPerByte * bytesPerToken * cls, 1.0e9));
+      }
+      edges_.emplace_back(spec.src, spec.tgt,
+                          static_cast<std::uint32_t>(tokenCapacity),
+                          spec.ackOnly, std::move(spec.reqTokens));
+      edges_.back().emulateNs = emulateNs;
       stages_[spec.src].outEdges.push_back(idx);
       stages_[spec.tgt].inEdges.push_back(idx);
     }
-    unsigned workers = numWorkers != 0
-                           ? numWorkers
-                           : std::max(1u, std::thread::hardware_concurrency());
-    workers = static_cast<unsigned>(
-        std::min<std::size_t>(workers, std::max<std::size_t>(numStages, 1)));
-    numWorkers_ = workers;
-    std::vector<std::pair<std::pair<std::size_t, std::size_t>, std::uint64_t>>
-        weightedEdges;
-    weightedEdges.reserve(edges_.size());
-    for (std::size_t e = 0; e < edges_.size(); ++e)
-      weightedEdges.push_back({{edges_[e].src, edges_[e].tgt},
-                               std::max<std::uint64_t>(specs[e].weightBytes,
-                                                       1)});
-    ownedStages_ = numStages != 0
-                       ? placeStages(numStages, workers, stageTasks,
-                                     weightedEdges)
-                       : std::vector<std::vector<std::size_t>>(workers);
+
     // One worker runs the whole network cooperatively on the calling
     // thread; threads exist only when there is real parallelism to host.
     if (workers > 1) {
@@ -192,6 +278,7 @@ public:
 
   std::size_t numStages() const { return stages_.size(); }
   unsigned numWorkers() const { return numWorkers_; }
+  const rt::Placement& placement() const { return placement_; }
 
   void run(std::size_t numBatches, const TaskRunner& runner) {
     if (numBatches == 0)
@@ -267,6 +354,9 @@ private:
     std::size_t src;
     std::size_t tgt;
     bool ackOnly;
+    /// Producer-side spin per pushed token (synthetic NUMA emulation;
+    /// 0 = off). Set once at construction from the placed domain pair.
+    std::uint32_t emulateNs = 0;
     std::vector<std::uint64_t> reqTokens;
     rt::SpscQueue<std::uint32_t> ring; // forward: block-completion tokens
     rt::SpscQueue<std::uint8_t> ack;   // reverse: one token per batch
@@ -311,6 +401,11 @@ private:
   }
 
   void workerMain(unsigned w) {
+    // Per-domain worker pinning: keep each stage worker on its domain's
+    // cores so a domain-local ring really is socket-local traffic.
+    if (hasTopology_ && !topology_.cpusOfDomain.empty() &&
+        w < topology_.domainOfWorker.size())
+      pinThreadToCpus(topology_.cpusOfDomain[topology_.domainOfWorker[w]]);
     std::uint64_t seenGen = 0;
     for (;;) {
       {
@@ -335,6 +430,8 @@ private:
   }
 
   void runStages(const std::vector<std::size_t>& owned, WorkerStats& local) {
+    const unsigned backoffCap = channelBackoffCap();
+    const unsigned spinCap = std::min(64u, backoffCap);
     unsigned idle = 0;
     for (;;) {
       if (abort_.load(std::memory_order_relaxed)) {
@@ -368,9 +465,9 @@ private:
         return;
       if (progress) {
         idle = 0;
-      } else if (++idle < 64) {
+      } else if (++idle < spinCap) {
         // Tight spin: tokens usually arrive within a few polls.
-      } else if (idle < 16384) {
+      } else if (idle < backoffCap) {
         // Long yield phase before sleeping: on an oversubscribed host a
         // yield IS the handoff to the peer stage's worker (one scheduler
         // pass), while a timed sleep parks this worker for a fixed 50us
@@ -455,6 +552,8 @@ private:
           continue;
         ++e.pushed;
         ++local.tokensPushed;
+        if (e.emulateNs != 0)
+          spinNanos(e.emulateNs);
         if (!e.ring.tryPush(static_cast<std::uint32_t>(st.pos)))
           PIPOLY_CHECK_MSG(
               stages_[e.tgt].finished.load(std::memory_order_acquire),
@@ -478,6 +577,9 @@ private:
 
   std::deque<Stage> stages_;
   std::deque<Edge> edges_;
+  rt::Placement placement_;
+  rt::Topology topology_;
+  bool hasTopology_ = false;
   std::vector<std::vector<std::size_t>> ownedStages_;
   std::vector<std::thread> threads_;
   unsigned numWorkers_ = 1;
@@ -616,7 +718,7 @@ ChannelPipeline::ChannelPipeline(
       buildProgramPlan(*program_, comm, options.defaultCapacitySlots);
   taskAt_ = std::move(plan.taskAt);
   engine_ = std::make_unique<ChannelEngine>(
-      std::move(plan.stageTasks), std::move(plan.edges), options.numWorkers);
+      std::move(plan.stageTasks), std::move(plan.edges), options);
 }
 
 ChannelPipeline::ChannelPipeline(codegen::TaskProgram program, Options options,
@@ -629,6 +731,10 @@ ChannelPipeline::~ChannelPipeline() = default;
 
 std::size_t ChannelPipeline::numStages() const { return engine_->numStages(); }
 unsigned ChannelPipeline::numWorkers() const { return engine_->numWorkers(); }
+
+const rt::Placement& ChannelPipeline::placement() const {
+  return engine_->placement();
+}
 
 void ChannelPipeline::replay(const StatementExecutor& exec) {
   trace::Span span("channel.run");
@@ -809,7 +915,7 @@ private:
       }
     }
     ChannelEngine engine(std::move(stageTasks), std::move(specs),
-                         options_.numWorkers);
+                         options_);
     engine.run(1, [this, &taskAt](std::size_t stage, std::size_t pos,
                                   std::size_t) {
       const Rec& rec = recs_[taskAt[stage][pos]];

@@ -221,5 +221,120 @@ TEST(ChannelRetainedBytesTest, RingsAndTablesAreCountedAndStable) {
   EXPECT_EQ(pipe.stats().batches, 5u);
 }
 
+TEST(ChannelBackoffTest, StrictParseAndRejectContract) {
+  // PIPOLY_CHANNEL_BACKOFF follows PIPOLY_POOL_WAKE_CAP's contract: a
+  // positive decimal integer or a hard error — never a silent default.
+  EXPECT_EQ(parseChannelBackoff("1").value_or(0), 1u);
+  EXPECT_EQ(parseChannelBackoff("64").value_or(0), 64u);
+  EXPECT_EQ(parseChannelBackoff("16384").value_or(0), 16384u);
+  EXPECT_EQ(parseChannelBackoff("  42  ").value_or(0), 42u);
+
+  EXPECT_FALSE(parseChannelBackoff(nullptr).has_value());
+  EXPECT_FALSE(parseChannelBackoff("").has_value());
+  EXPECT_FALSE(parseChannelBackoff("   ").has_value());
+  EXPECT_FALSE(parseChannelBackoff("0").has_value());
+  EXPECT_FALSE(parseChannelBackoff("-1").has_value());
+  EXPECT_FALSE(parseChannelBackoff("+8").has_value());
+  EXPECT_FALSE(parseChannelBackoff("abc").has_value());
+  EXPECT_FALSE(parseChannelBackoff("12abc").has_value());
+  EXPECT_FALSE(parseChannelBackoff("12 34").has_value());
+  EXPECT_FALSE(parseChannelBackoff("0x10").has_value());
+  EXPECT_FALSE(parseChannelBackoff("3.5").has_value());
+  EXPECT_FALSE(parseChannelBackoff("99999999999999999999").has_value());
+}
+
+TEST(ChannelPlacementTest, UmaTopologyMatchesTheTopologyFreePlacement) {
+  // The engine-level half of the uma differential: a ChannelPipeline
+  // given an explicit uma topology must choose the same stage-to-worker
+  // assignment, byte for byte, as the PR 8 topology-free route.
+  for (const char* name : {"P1", "P5", "P8"}) {
+    const scop::Scop scop =
+        kernels::buildProgram(kernels::programByName(name), 10);
+    const pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+    const pipeline::CommInfo comm = pipeline::analyzeCommunication(scop, info);
+    auto prog = compileShared(scop, true);
+    for (unsigned workers : {1u, 2u, 4u}) {
+      ChannelOptions plain;
+      plain.numWorkers = workers;
+      ChannelPipeline base(prog, plain, &comm);
+
+      ChannelOptions uma = plain;
+      uma.topology = rt::Topology::uma(workers);
+      ChannelPipeline topo(prog, uma, &comm);
+
+      EXPECT_EQ(topo.placement().ownedStages, base.placement().ownedStages)
+          << name << " workers " << workers;
+      EXPECT_EQ(topo.placement().workerOfStage,
+                base.placement().workerOfStage);
+      EXPECT_EQ(topo.placement().maxLoad, base.placement().maxLoad);
+      EXPECT_EQ(topo.placement().crossWorkerBytes,
+                base.placement().crossWorkerBytes);
+    }
+  }
+}
+
+TEST(ChannelPlacementTest, NumaTopologyKeepsReplayBitIdentical) {
+  // Placement, pinning, larger cross-domain rings and the synthetic
+  // remote-transfer emulation change the schedule, never the values:
+  // every topology variant must reproduce the sequential fingerprint.
+  for (const char* name : {"P1", "P5", "P8"}) {
+    const scop::Scop scop =
+        kernels::buildProgram(kernels::programByName(name), 10);
+    const std::uint64_t expected = testing::sequentialFingerprint(scop);
+    const pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+    const pipeline::CommInfo comm = pipeline::analyzeCommunication(scop, info);
+    auto prog = compileShared(scop, true);
+    for (const char* preset : {"2x-numa", "ring"}) {
+      for (bool aware : {true, false}) {
+        ChannelOptions options;
+        options.numWorkers = 4;
+        options.topology = rt::Topology::fromSpec(preset, 4);
+        options.topologyAwarePlacement = aware;
+        options.emulateRemoteNsPerByte = 0.5;
+        ChannelPipeline pipe(prog, options, &comm);
+        EXPECT_EQ(pipe.placement().topologyAware, aware);
+        testing::InterpretedKernel kernel(scop);
+        pipe.replay(kernel.executor());
+        EXPECT_EQ(kernel.fingerprint(), expected)
+            << name << " " << preset << (aware ? " aware" : " baseline");
+        // Streaming under the same machine model.
+        kernel.reset();
+        pipe.replayBatches(3, [&](std::size_t, std::size_t s,
+                                  const pb::Tuple& it) {
+          kernel.execute(s, it);
+        });
+      }
+    }
+  }
+}
+
+TEST(ChannelPlacementTest, CrossDomainRingsAreSizedUpByTheCostClass) {
+  // A cross-domain edge of class c > 1 gets a ring roughly c times the
+  // uma capacity (to amortize the slower link), so the topology pipeline
+  // retains strictly more ring storage whenever placement crosses
+  // domains.
+  const scop::Scop scop =
+      kernels::buildProgram(kernels::programByName("P5"), 10);
+  const pipeline::PipelineInfo info = pipeline::detectPipeline(scop);
+  const pipeline::CommInfo comm = pipeline::analyzeCommunication(scop, info);
+  auto prog = compileShared(scop, true);
+
+  ChannelOptions plain;
+  plain.numWorkers = 4;
+  ChannelPipeline base(prog, plain, &comm);
+
+  ChannelOptions numa = plain;
+  numa.topology = rt::Topology::numa2(4, 4.0);
+  ChannelPipeline topo(prog, numa, &comm);
+
+  if (topo.placement().crossDomainBytes > 0)
+    EXPECT_GT(topo.retainedBytes(), base.retainedBytes());
+  // And it still computes the right answer.
+  const std::uint64_t expected = testing::sequentialFingerprint(scop);
+  testing::InterpretedKernel kernel(scop);
+  topo.replay(kernel.executor());
+  EXPECT_EQ(kernel.fingerprint(), expected);
+}
+
 } // namespace
 } // namespace pipoly::tasking

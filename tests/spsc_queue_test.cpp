@@ -1,8 +1,9 @@
 // Tests for rt::SpscQueue, the channel primitive of the channel tasking
-// backend: FIFO order across wraparound with exact (non-power-of-two)
-// capacities, the producer-side canPush contract, close/drain semantics,
-// and a two-thread producer/consumer fuzz run (the case the sanitizer CI
-// jobs exercise under TSAN/ASan).
+// backend: the power-of-two capacity-rounding contract (requested
+// capacity is a minimum; capacity()/storageBytes() report the rounded
+// actual ring), FIFO order across wraparound, the producer-side canPush
+// contract, close/drain semantics, and a two-thread producer/consumer
+// fuzz run (the case the sanitizer CI jobs exercise under TSAN/ASan).
 
 #include "runtime/spsc_queue.hpp"
 
@@ -16,22 +17,36 @@
 namespace pipoly::rt {
 namespace {
 
+TEST(SpscQueueTest, CapacityRoundsUpToThePowerOfTwoContract) {
+  // The requested capacity is a minimum: construction rounds it up to
+  // the next power of two (mask indexing instead of a modulo on the hot
+  // path) and capacity() reports the actual slot count.
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscQueue<int>(17).capacity(), 32u);
+  EXPECT_EQ(SpscQueue<int>(64).capacity(), 64u);
+}
+
 TEST(SpscQueueTest, FifoOrderAcrossManyWraparounds) {
-  // Capacity 3 is deliberately not a power of two — the ring indexes with
-  // a real modulo, so an off-by-one in the wrap arithmetic shows up here.
+  // Requested 3 rounds up to 4 actual slots; the ring must fill to its
+  // *actual* capacity and preserve FIFO order across many wraps.
   SpscQueue<std::uint64_t> q(3);
+  ASSERT_EQ(q.capacity(), 4u);
   std::uint64_t pushed = 0, popped = 0;
   for (int round = 0; round < 100; ++round) {
     while (q.tryPush(pushed))
       ++pushed;
-    EXPECT_EQ(pushed - popped, 3u);
+    EXPECT_EQ(pushed - popped, q.capacity());
     while (auto v = q.tryPop()) {
       EXPECT_EQ(*v, popped);
       ++popped;
     }
     EXPECT_EQ(pushed, popped);
   }
-  EXPECT_EQ(popped, 300u);
+  EXPECT_EQ(popped, 100 * q.capacity());
 }
 
 TEST(SpscQueueTest, CapacityOneAlternatesPushAndPop) {
@@ -89,9 +104,12 @@ TEST(SpscQueueTest, ResetUnsafeRestoresAnEmptyOpenQueue) {
   EXPECT_EQ(q.tryPop().value_or(-1), 1);
 }
 
-TEST(SpscQueueTest, StorageBytesCoversTheSlots) {
+TEST(SpscQueueTest, StorageBytesReportsTheRoundedActualStorage) {
+  // retainedBytes accounting must see what is really allocated: the
+  // rounded slot count, not the requested one.
   SpscQueue<std::uint64_t> q(17);
-  EXPECT_GE(q.storageBytes(), 17 * sizeof(std::uint64_t));
+  EXPECT_EQ(q.capacity(), 32u);
+  EXPECT_EQ(q.storageBytes(), 32 * sizeof(std::uint64_t));
 }
 
 TEST(SpscQueueFuzzTest, TwoThreadStreamKeepsOrderAndLosesNothing) {
